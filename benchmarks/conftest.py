@@ -1,0 +1,15 @@
+"""Benchmark-session bootstrap (mirrors the top-level conftest).
+
+Makes ``repro`` importable from a plain checkout and keeps the benchmark
+suite runnable on its own (``pytest benchmarks/ --benchmark-only``).
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+try:  # pragma: no cover - trivial import probe
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of single consensus runs and substrate primitives.
+
+These complement the experiment-level benchmarks with tighter timing of the
+individual building blocks: one full consensus run per algorithm on a fixed
+topology, one intra-cluster consensus-object invocation, and one simulated
+all-to-all message exchange.
+"""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.harness.runner import ExperimentConfig, run_consensus
+from repro.sharedmem.consensus_object import CASConsensusObject
+from repro.sharedmem.threaded import run_threaded_consensus
+
+TOPOLOGY = ClusterTopology.figure1_right()
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    ["hybrid-local-coin", "hybrid-common-coin", "ben-or", "mp-common-coin", "mm-local-coin"],
+)
+def test_bench_single_run(benchmark, algorithm):
+    config = ExperimentConfig(topology=TOPOLOGY, algorithm=algorithm, proposals="split", seed=5)
+
+    def run():
+        result = run_consensus(config)
+        result.report.raise_on_violation()
+        return result
+
+    result = benchmark(run)
+    assert result.terminated
+
+
+def test_bench_shared_memory_baseline(benchmark):
+    topology = ClusterTopology.single_cluster(7)
+    config = ExperimentConfig(topology=topology, algorithm="shared-memory", proposals="split", seed=5)
+    result = benchmark(lambda: run_consensus(config))
+    assert result.terminated
+    assert result.metrics.messages_sent == 0
+
+
+def test_bench_cas_consensus_object(benchmark):
+    from tests.helpers import SyncContext, drive
+
+    def one_instance():
+        obj = CASConsensusObject("bench", members={0, 1, 2, 3})
+        return [drive(obj.propose(SyncContext(pid=pid), pid % 2)) for pid in range(4)]
+
+    decisions = benchmark(one_instance)
+    assert len(set(decisions)) == 1
+
+
+def test_bench_threaded_consensus(benchmark):
+    proposals = {pid: pid % 2 for pid in range(8)}
+    decisions = benchmark(lambda: run_threaded_consensus(proposals))
+    assert len(set(decisions.values())) == 1

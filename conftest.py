@@ -1,0 +1,17 @@
+"""Test-session bootstrap.
+
+Ensures the ``repro`` package under ``src/`` is importable even when the
+package has not been installed (e.g. running ``pytest`` straight from a
+checkout in an offline environment).  When ``repro`` is already installed
+(editable or not) this is a no-op.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent / "src"
+
+try:  # pragma: no cover - trivial import probe
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,71 @@
+"""Beyond consensus: a replicated state machine inside one cluster.
+
+The paper's model gives every cluster an operation of infinite consensus
+number, which (by Herlihy's universality result) lets a cluster implement any
+shared object wait-free.  This example uses the repository's universal
+construction to run a small replicated counter and an append-only log inside
+the majority cluster of Figure 1 (right): every member applies the same
+operation sequence, so they all observe the same state.
+
+Run with:  python examples/cluster_state_machine.py
+"""
+
+from repro import ClusterTopology
+from repro.network.transport import Network
+from repro.sharedmem.memory import build_cluster_memories
+from repro.sharedmem.universal import UniversalObject, append_log_transition, counter_transition
+from repro.sim import SimConfig, SimulationKernel
+from repro.sim.rng import RandomSource
+
+
+def main() -> None:
+    topology = ClusterTopology.figure1_right()
+    cluster_index = topology.majority_cluster_index()
+    members = sorted(topology.cluster_members(cluster_index))
+    print(f"Cluster P[{cluster_index + 1}] members (0-based ids): {members}")
+
+    rng = RandomSource(99)
+    kernel = SimulationKernel(config=SimConfig(), rng=rng)
+    kernel.attach_network(Network(topology.n, rng=rng))
+    memory = build_cluster_memories(topology)[cluster_index]
+    counter = UniversalObject(memory, "hits", initial_state=0, transition=counter_transition)
+    log = UniversalObject(memory, "events", initial_state=(), transition=append_log_transition)
+
+    def member_behaviour(ctx):
+        # Each member increments the counter twice and records one event,
+        # interleaved arbitrarily by the asynchronous scheduler.
+        yield from counter.invoke(ctx, "increment")
+        yield from log.invoke(ctx, "append", f"hello from p{ctx.pid}")
+        yield from counter.invoke(ctx, "increment")
+        total = yield from counter.invoke(ctx, "read")
+        events = yield from log.invoke(ctx, "read")
+        return {"pid": ctx.pid, "counter": total, "events": events}
+
+    for pid in members:
+        kernel.add_process(pid, member_behaviour)
+    # Processes outside the cluster do not participate (they cannot access MEM_x).
+    for pid in topology.process_ids():
+        if pid not in members:
+            kernel.add_process(pid, lambda ctx: iter(()) or (yield from ctx.local_step()))
+
+    result = kernel.run()
+    print()
+    for pid in members:
+        view = result.decisions.get(pid)
+        if view is None:
+            continue
+        print(f"process {pid}: counter={view['counter']}, log={list(view['events'])}")
+    print()
+    views = {pid: counter.local_state(pid) for pid in members}
+    print(f"Counter views at each member's last applied slot: {views}")
+    print(f"  (a member that finished earlier holds an older prefix; the latest view is "
+          f"{max(views.values())} = every increment applied)")
+    print(f"Shared log (identical linearization at every member): {list(log.local_state(members[0]))}")
+    print()
+    print("All members applied the same operations in the same order: the cluster's")
+    print("consensus objects linearize concurrent invocations, which is exactly the")
+    print("machinery Algorithms 2 and 3 use once per phase per round.")
+
+
+if __name__ == "__main__":
+    main()

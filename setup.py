@@ -1,0 +1,22 @@
+"""Setuptools shim.
+
+The environment this reproduction targets may be offline and lack the
+``wheel`` package, in which case PEP 660 editable installs cannot build an
+editable wheel.  Keeping a ``setup.py`` (and no ``[build-system]`` table in
+``pyproject.toml``) lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works with a bare setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'One for All and All for One: Scalable Consensus in a "
+        "Hybrid Communication Model' (Raynal & Cao, ICDCS 2019)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,86 @@
+"""repro — a reproduction of "One for All and All for One: Scalable Consensus
+in a Hybrid Communication Model" (Raynal & Cao, ICDCS 2019).
+
+The package implements the paper's hybrid communication model (clusters with
+shared memory plus a global asynchronous message-passing network), its two
+randomized binary consensus algorithms, the baselines they extend, the m&m
+model they are compared against, and a deterministic simulation and
+experiment harness that reproduces the paper's quantitative claims.
+
+Quickstart::
+
+    from repro import ClusterTopology, ExperimentConfig, run_consensus
+
+    topology = ClusterTopology.figure1_right()
+    result = run_consensus(ExperimentConfig(topology=topology, algorithm="hybrid-local-coin"))
+    print(result.decided_value, result.metrics.rounds_max)
+"""
+
+from .cluster import ClusterTopology, FailurePattern, TopologyError
+from .coins import CommonCoin, LocalCoin
+from .core import (
+    BOT,
+    CommonCoinConsensus,
+    ConsensusProcess,
+    ConsensusViolation,
+    LocalCoinConsensus,
+    ProcessEnvironment,
+    PropertyReport,
+    msg_exchange,
+    verify_run,
+)
+from .harness import (
+    ALGORITHMS,
+    ExperimentConfig,
+    RunMetrics,
+    RunResult,
+    run_consensus,
+    run_seeds,
+    termination_expected,
+)
+from .mm import MMConsensus, SharedMemoryDomain
+from .network import ConstantDelay, ExponentialDelay, LogNormalDelay, Network, SpikeDelay, UniformDelay
+from .sharedmem import CASConsensusObject, ClusterSharedMemory, build_cluster_memories
+from .sim import RunStatus, SimConfig, SimulationKernel, SimulationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "BOT",
+    "CASConsensusObject",
+    "ClusterSharedMemory",
+    "ClusterTopology",
+    "CommonCoin",
+    "CommonCoinConsensus",
+    "ConsensusProcess",
+    "ConsensusViolation",
+    "ConstantDelay",
+    "ExperimentConfig",
+    "ExponentialDelay",
+    "FailurePattern",
+    "LocalCoin",
+    "LocalCoinConsensus",
+    "LogNormalDelay",
+    "MMConsensus",
+    "Network",
+    "ProcessEnvironment",
+    "PropertyReport",
+    "RunMetrics",
+    "RunResult",
+    "RunStatus",
+    "SharedMemoryDomain",
+    "SimConfig",
+    "SimulationKernel",
+    "SimulationResult",
+    "SpikeDelay",
+    "TopologyError",
+    "UniformDelay",
+    "__version__",
+    "build_cluster_memories",
+    "msg_exchange",
+    "run_consensus",
+    "run_seeds",
+    "termination_expected",
+    "verify_run",
+]

@@ -1,0 +1,11 @@
+"""Baseline consensus algorithms the paper builds on or compares against."""
+
+from .ben_or import BenOrConsensus
+from .mp_common_coin import MessagePassingCommonCoinConsensus
+from .shared_memory_only import SharedMemoryConsensus
+
+__all__ = [
+    "BenOrConsensus",
+    "MessagePassingCommonCoinConsensus",
+    "SharedMemoryConsensus",
+]

@@ -1,0 +1,6 @@
+"""Cluster model: process partitions and crash-failure patterns."""
+
+from .failures import FailurePattern
+from .topology import ClusterTopology, TopologyError
+
+__all__ = ["ClusterTopology", "FailurePattern", "TopologyError"]

@@ -1,0 +1,17 @@
+"""Local and common coins (plus adversarial variants for testing)."""
+
+from .adversarial import AdversarialCommonCoin, AlwaysOneCoin, AlwaysZeroCoin, OpposingCoins
+from .common import CommonCoin, FixedSequenceCommonCoin
+from .local import BiasedLocalCoin, DeterministicCoin, LocalCoin
+
+__all__ = [
+    "AdversarialCommonCoin",
+    "AlwaysOneCoin",
+    "AlwaysZeroCoin",
+    "BiasedLocalCoin",
+    "CommonCoin",
+    "DeterministicCoin",
+    "FixedSequenceCommonCoin",
+    "LocalCoin",
+    "OpposingCoins",
+]

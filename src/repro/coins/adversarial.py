@@ -1,0 +1,85 @@
+"""Adversarial coin wrappers used by robustness experiments and tests.
+
+Randomized consensus algorithms are proved correct against an adversary that
+cannot predict future coin flips, but their *safety* must hold for any coin
+behaviour whatsoever.  These wrappers let tests hand the algorithms
+pathological coins and check that agreement and validity still hold.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from .common import CommonCoin
+from .local import LocalCoin
+
+
+class AlwaysZeroCoin(LocalCoin):
+    """A local coin stuck at 0 (liveness-hostile, safety-irrelevant)."""
+
+    def __init__(self) -> None:
+        super().__init__(random.Random(0))
+
+    def flip(self) -> int:
+        self.flips += 1
+        self.history.append(0)
+        return 0
+
+
+class AlwaysOneCoin(LocalCoin):
+    """A local coin stuck at 1."""
+
+    def __init__(self) -> None:
+        super().__init__(random.Random(0))
+
+    def flip(self) -> int:
+        self.flips += 1
+        self.history.append(1)
+        return 1
+
+
+class OpposingCoins:
+    """A factory of local coins engineered to disagree across processes.
+
+    Even-indexed processes always flip 0, odd-indexed processes always
+    flip 1: the worst case for Ben-Or-style convergence.  Termination then
+    relies entirely on the majority-adoption path, so tests pair this with
+    proposal patterns that guarantee it (or with round caps to observe
+    controlled non-termination while checking safety).
+    """
+
+    def coin_for(self, pid: int) -> LocalCoin:
+        return AlwaysZeroCoin() if pid % 2 == 0 else AlwaysOneCoin()
+
+
+class AdversarialCommonCoin(CommonCoin):
+    """A common coin whose bits an "adversary" chooses per round.
+
+    Bits not explicitly set fall back to a seeded pseudo-random draw.  The
+    coin remains *common* (identical at all processes), as required by the
+    model; only its distribution is adversarial.
+    """
+
+    def __init__(self, forced_bits: Optional[Dict[int, int]] = None, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self.forced_bits = dict(forced_bits or {})
+        for round_number, bit in self.forced_bits.items():
+            if round_number < 1 or bit not in (0, 1):
+                raise ValueError(f"invalid forced bit {bit!r} for round {round_number}")
+
+    def _ensure(self, round_number: int) -> None:
+        while len(self._bits) < round_number:
+            next_round = len(self._bits) + 1
+            if next_round in self.forced_bits:
+                self._bits.append(self.forced_bits[next_round])
+            else:
+                self._bits.append(self._rng.randrange(2))
+
+    def force(self, round_number: int, bit: int) -> None:
+        """Fix the bit of a not-yet-drawn round (tests only)."""
+        if round_number <= len(self._bits):
+            raise ValueError(f"round {round_number} has already been drawn")
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        self.forced_bits[round_number] = bit

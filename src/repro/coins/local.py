@@ -1,0 +1,83 @@
+"""Local coins (Section II-B).
+
+A local coin gives its owning process an unbiased random bit; coins of
+distinct processes are independent.  In the simulator each coin draws from
+its own named stream of the run's :class:`~repro.sim.rng.RandomSource`, which
+preserves independence while keeping runs reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+
+class LocalCoin:
+    """An unbiased, process-local source of random bits."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self.flips = 0
+        self.history: List[int] = []
+
+    def flip(self) -> int:
+        """The paper's ``local_coin()``: return 0 or 1, each with probability 1/2."""
+        self.flips += 1
+        bit = self._rng.randrange(2)
+        self.history.append(bit)
+        return bit
+
+    def __repr__(self) -> str:
+        return f"LocalCoin(flips={self.flips})"
+
+
+class BiasedLocalCoin(LocalCoin):
+    """A local coin returning 1 with probability ``bias``.
+
+    Used by robustness tests: the consensus algorithms remain safe for any
+    coin distribution, and remain live as long as both outcomes have
+    non-zero probability (the paper's "no value is returned with probability
+    0" requirement).
+    """
+
+    def __init__(self, rng: random.Random, bias: float) -> None:
+        if not 0.0 <= bias <= 1.0:
+            raise ValueError(f"bias must be in [0, 1], got {bias}")
+        super().__init__(rng)
+        self.bias = bias
+
+    def flip(self) -> int:
+        self.flips += 1
+        bit = 1 if self._rng.random() < self.bias else 0
+        self.history.append(bit)
+        return bit
+
+    def __repr__(self) -> str:
+        return f"BiasedLocalCoin(bias={self.bias}, flips={self.flips})"
+
+
+class DeterministicCoin(LocalCoin):
+    """A "coin" that replays a fixed cyclic sequence of bits.
+
+    Deliberately violates the randomness assumption; tests use it to show
+    that safety (agreement, validity) never depends on the coin, only
+    liveness does -- the algorithms are indulgent with respect to their
+    coins too.
+    """
+
+    def __init__(self, sequence: List[int]) -> None:
+        super().__init__(random.Random(0))
+        if not sequence or any(bit not in (0, 1) for bit in sequence):
+            raise ValueError("sequence must be a non-empty list of bits")
+        self.sequence = list(sequence)
+        self._index = 0
+
+    def flip(self) -> int:
+        self.flips += 1
+        bit = self.sequence[self._index % len(self.sequence)]
+        self._index += 1
+        self.history.append(bit)
+        return bit
+
+    def __repr__(self) -> str:
+        return f"DeterministicCoin(sequence={self.sequence}, flips={self.flips})"

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: hybrid-model binary consensus.
+
+* :func:`~repro.core.pattern.msg_exchange` — Algorithm 1, the cluster-aware
+  all-to-all communication pattern.
+* :class:`~repro.core.local_coin.LocalCoinConsensus` — Algorithm 2.
+* :class:`~repro.core.common_coin.CommonCoinConsensus` — Algorithm 3.
+"""
+
+from .base import (
+    BINARY_VALUES,
+    BOT,
+    ConsensusProcess,
+    DecideMessage,
+    PhaseMessage,
+    ProcessEnvironment,
+    ProtocolInvariantError,
+    validate_proposal,
+)
+from .common_coin import CommonCoinConsensus
+from .local_coin import LocalCoinConsensus
+from .pattern import ExchangeOutcome, msg_exchange, scan_mailbox
+from .properties import (
+    ConsensusViolation,
+    PropertyReport,
+    check_agreement,
+    check_termination,
+    check_validity,
+    decisions_are_unanimous,
+    verify_run,
+)
+
+__all__ = [
+    "BINARY_VALUES",
+    "BOT",
+    "CommonCoinConsensus",
+    "ConsensusProcess",
+    "ConsensusViolation",
+    "DecideMessage",
+    "ExchangeOutcome",
+    "LocalCoinConsensus",
+    "PhaseMessage",
+    "ProcessEnvironment",
+    "PropertyReport",
+    "ProtocolInvariantError",
+    "check_agreement",
+    "check_termination",
+    "check_validity",
+    "decisions_are_unanimous",
+    "msg_exchange",
+    "scan_mailbox",
+    "validate_proposal",
+    "verify_run",
+]

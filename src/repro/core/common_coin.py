@@ -1,0 +1,67 @@
+"""Algorithm 3: common-coin binary consensus for the hybrid model.
+
+Rounds have a single phase.  Each round the cluster members agree on their
+estimate through ``CONS_x[r]``, exchange it across clusters, and then query
+the common coin.  If a value is supported by a strict majority the process
+adopts it and decides when the coin agrees with it; otherwise the coin's bit
+becomes the new estimate.  Once every correct process holds the same
+estimate, the expected number of additional rounds before the coin matches
+it is 2 -- the property checked by experiment E4.
+
+The algorithm is the hybrid-model extension of the crash-failure version of
+the Friedman–Mostéfaoui–Raynal common-coin consensus as presented in
+Raynal's 2018 book.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .base import ConsensusProcess, ProcessEnvironment, validate_proposal
+from .pattern import msg_exchange
+
+
+class CommonCoinConsensus(ConsensusProcess):
+    """One process's instance of the paper's Algorithm 3."""
+
+    algorithm_name = "hybrid-common-coin"
+
+    #: Phase label used in the (single-phase) communication pattern.
+    SINGLE_PHASE = 1
+
+    def __init__(self, env: ProcessEnvironment, tag: Optional[str] = None) -> None:
+        super().__init__(env, tag)
+        if env.memory is None:
+            raise ValueError("Algorithm 3 needs the cluster shared memory")
+        if env.common_coin is None:
+            raise ValueError("Algorithm 3 needs a common coin")
+
+    def run(self, ctx):
+        env = self.env
+        topology = env.topology
+        est: Any = validate_proposal(env.proposal)
+        round_number = 0
+        while True:
+            round_number += 1
+            ctx.mark_round(round_number)
+
+            # Agree inside the cluster (CONS_x[r]), then exchange across clusters.
+            cons = env.memory.consensus_object(self.tag, round_number)
+            est = yield from cons.propose(ctx, est)
+            outcome = yield from msg_exchange(
+                ctx, env, round_number, self.SINGLE_PHASE, est, self.tag
+            )
+            if outcome.is_decide:
+                return (yield from self.broadcast_decide(ctx, outcome.decide_value))
+
+            # Every process obtains the same bit for this round.
+            ctx.count_coin_flip()
+            coin_bit = env.common_coin.bit(round_number, ctx.pid)
+
+            majority_value = outcome.majority_value(topology)
+            if majority_value is not None:
+                est = majority_value
+                if coin_bit == majority_value:
+                    return (yield from self.broadcast_decide(ctx, majority_value))
+            else:
+                est = coin_bit

@@ -1,0 +1,87 @@
+"""Algorithm 2: local-coin binary consensus for the hybrid model.
+
+The algorithm proceeds in asynchronous rounds of two phases.  In each phase
+the members of a cluster first agree on a single value through the cluster's
+consensus object (``CONS_x[r, 1]`` then ``CONS_x[r, 2]``), then run the
+``msg_exchange`` pattern across all clusters.  Phase 1 selects a value to
+*champion* (or ``⊥``); phase 2 decides when only one championed value is
+seen, adopts it when it is seen alongside ``⊥``, and otherwise flips a local
+coin.  With singleton clusters the cluster consensus is vacuous and the
+algorithm degenerates to Ben-Or's 1983 algorithm, of which it is the
+hybrid-model extension.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .base import (
+    BOT,
+    ConsensusProcess,
+    ProcessEnvironment,
+    ProtocolInvariantError,
+    validate_proposal,
+)
+from .pattern import msg_exchange
+
+
+class LocalCoinConsensus(ConsensusProcess):
+    """One process's instance of the paper's Algorithm 2."""
+
+    algorithm_name = "hybrid-local-coin"
+
+    def __init__(self, env: ProcessEnvironment, tag: Optional[str] = None) -> None:
+        super().__init__(env, tag)
+        if env.memory is None:
+            raise ValueError("Algorithm 2 needs the cluster shared memory")
+        if env.local_coin is None:
+            raise ValueError("Algorithm 2 needs a local coin")
+
+    def run(self, ctx):
+        env = self.env
+        topology = env.topology
+        est1: Any = validate_proposal(env.proposal)
+        round_number = 0
+        while True:
+            round_number += 1
+            ctx.mark_round(round_number)
+
+            # ----- Phase 1: try to champion a value --------------------------
+            # First agree inside the cluster (CONS_x[r, 1])...
+            cons1 = env.memory.consensus_object(self.tag, round_number, 1)
+            est1 = yield from cons1.propose(ctx, est1)
+            # ...then exchange across all clusters.
+            outcome = yield from msg_exchange(ctx, env, round_number, 1, est1, self.tag)
+            if outcome.is_decide:
+                return (yield from self.broadcast_decide(ctx, outcome.decide_value))
+            majority_value = outcome.majority_value(topology)
+            est2: Any = majority_value if majority_value is not None else BOT
+            # Weak agreement WA1: any two processes with est2 != ⊥ hold the
+            # same value (two strict majorities intersect and every cluster is
+            # univalent in a phase).
+
+            # ----- Phase 2: try to decide from the championed values ---------
+            cons2 = env.memory.consensus_object(self.tag, round_number, 2)
+            est2 = yield from cons2.propose(ctx, est2)
+            outcome = yield from msg_exchange(ctx, env, round_number, 2, est2, self.tag)
+            if outcome.is_decide:
+                return (yield from self.broadcast_decide(ctx, outcome.decide_value))
+
+            received = set(outcome.values_received)
+            championed = received - {BOT}
+            if len(championed) > 1:
+                raise ProtocolInvariantError(
+                    f"round {round_number}: two distinct championed values {championed} "
+                    "were received in phase 2, violating weak agreement WA1"
+                )
+            if championed and BOT not in received:
+                # rec_i = {v}: decide v (after flooding DECIDE to avoid deadlock).
+                value = championed.pop()
+                return (yield from self.broadcast_decide(ctx, value))
+            if championed:
+                # rec_i = {v, ⊥}: adopt v so no other value can be decided later.
+                est1 = next(iter(championed))
+            else:
+                # rec_i = {⊥}: nobody decided this round, flip the local coin.
+                ctx.count_coin_flip()
+                est1 = env.local_coin.flip()

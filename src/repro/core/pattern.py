@@ -1,0 +1,146 @@
+"""Algorithm 1: the ``msg_exchange`` all-to-all communication pattern.
+
+The pattern broadcasts ``(r, ph, est)`` and then waits until it has heard,
+*directly or by cluster attribution*, from a strict majority of the
+processes.  Cluster attribution is the heart of the paper: when a message
+``(r, ph, v)`` from process ``p_j ∈ P[x]`` is received, it is accounted as if
+the very same message had been received from every member of ``P[x]`` --
+which is sound because the per-cluster consensus objects guarantee that no
+two members of a cluster broadcast different values in the same phase
+("one for all and all for one").
+
+The pattern also watches for ``DECIDE`` messages so that a process whose
+peers have already decided (and stopped sending phase messages) cannot block
+forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional, Sequence
+
+from .base import BOT, DecideMessage, PhaseMessage, ProcessEnvironment
+
+
+@dataclass(frozen=True)
+class ExchangeOutcome:
+    """Result of one ``msg_exchange`` invocation.
+
+    ``kind`` is ``"supporters"`` for a normal completion (a majority of
+    processes heard from) or ``"decide"`` when a ``DECIDE`` message
+    short-circuited the wait.
+    """
+
+    kind: str
+    round_number: int
+    phase: int
+    supporters: Dict[Any, FrozenSet[int]] = field(default_factory=dict)
+    heard: FrozenSet[int] = frozenset()
+    values_received: FrozenSet[Any] = frozenset()
+    decide_value: Optional[int] = None
+
+    @property
+    def is_decide(self) -> bool:
+        return self.kind == "decide"
+
+    def supporters_of(self, value: Any) -> FrozenSet[int]:
+        """Processes (after cluster attribution) supporting ``value``."""
+        return self.supporters.get(value, frozenset())
+
+    def majority_value(self, topology) -> Optional[int]:
+        """A binary value supported by a strict majority, if any.
+
+        At most one such value can exist because two strict majorities always
+        intersect (weak agreement WA1 of the paper).
+        """
+        for value in (0, 1):
+            if topology.is_majority(len(self.supporters_of(value))):
+                return value
+        return None
+
+
+def scan_mailbox(
+    mailbox: Sequence[Any],
+    env: ProcessEnvironment,
+    tag: str,
+    round_number: int,
+    phase: int,
+    expand_clusters: bool = True,
+) -> ExchangeOutcome:
+    """Build the (partial) exchange outcome visible in ``mailbox``.
+
+    With ``expand_clusters`` (the default) a message from ``p_j`` is
+    attributed to every member of ``cluster(j)`` -- the paper's rule, which
+    is only sound when cluster consensus makes clusters univalent per phase.
+    The pure message-passing baselines pass ``False`` to attribute messages
+    to their senders only.
+
+    This helper is exposed separately so that tests and the property-based
+    suite can exercise the attribution logic on hand-built mailboxes.
+    """
+    topology = env.topology
+    supporters: Dict[Any, set] = {}
+    heard: set = set()
+    values: set = set()
+    for message in mailbox:
+        payload = message.payload
+        if isinstance(payload, DecideMessage) and payload.tag == tag:
+            return ExchangeOutcome(
+                kind="decide",
+                round_number=round_number,
+                phase=phase,
+                decide_value=payload.value,
+            )
+        if not isinstance(payload, PhaseMessage):
+            continue
+        if payload.tag != tag or payload.round_number != round_number or payload.phase != phase:
+            continue
+        if expand_clusters:
+            members = topology.cluster_of(message.sender)
+        else:
+            members = frozenset((message.sender,))
+        supporters.setdefault(payload.est, set()).update(members)
+        heard.update(members)
+        values.add(payload.est)
+    return ExchangeOutcome(
+        kind="supporters",
+        round_number=round_number,
+        phase=phase,
+        supporters={value: frozenset(pids) for value, pids in supporters.items()},
+        heard=frozenset(heard),
+        values_received=frozenset(values),
+    )
+
+
+def msg_exchange(
+    ctx,
+    env: ProcessEnvironment,
+    round_number: int,
+    phase: int,
+    est: Any,
+    tag: str,
+    expand_clusters: bool = True,
+):
+    """The paper's ``msg_exchange(r, ph, est)`` (a generator).
+
+    Broadcasts the phase message, then blocks until either a ``DECIDE``
+    message for this instance arrives or the processes heard from (with
+    cluster attribution, unless ``expand_clusters`` is ``False``) form a
+    strict majority.  Returns the corresponding :class:`ExchangeOutcome`.
+    """
+    if est not in (0, 1, BOT):
+        raise ValueError(f"est must be 0, 1 or ⊥, got {est!r}")
+    yield from ctx.broadcast(PhaseMessage(tag=tag, round_number=round_number, phase=phase, est=est))
+
+    topology = env.topology
+
+    def predicate(mailbox: Sequence[Any]) -> Optional[ExchangeOutcome]:
+        outcome = scan_mailbox(mailbox, env, tag, round_number, phase, expand_clusters)
+        if outcome.is_decide:
+            return outcome
+        if topology.is_majority(len(outcome.heard)):
+            return outcome
+        return None
+
+    outcome = yield from ctx.wait_until(predicate)
+    return outcome

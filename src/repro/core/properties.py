@@ -1,0 +1,127 @@
+"""Checkers for the three properties defining consensus.
+
+* **Validity** — every decided value was proposed by some process.
+* **Agreement** — no two processes decide different values.
+* **Termination** — every correct process decides (with probability 1; in a
+  bounded simulation this is checked only when the paper's termination
+  condition on clusters holds).
+
+The checkers work on :class:`~repro.sim.kernel.SimulationResult` objects and
+are used by the harness after every run, by the integration tests and by the
+property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set
+
+from ..cluster.topology import ClusterTopology
+from ..sim.kernel import RunStatus, SimulationResult
+
+
+class ConsensusViolation(AssertionError):
+    """Raised when a run violates a consensus safety or liveness property."""
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of checking one run against the consensus properties."""
+
+    validity: bool
+    agreement: bool
+    termination_expected: bool
+    termination: bool
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def safety_ok(self) -> bool:
+        return self.validity and self.agreement
+
+    @property
+    def ok(self) -> bool:
+        if not self.safety_ok:
+            return False
+        if self.termination_expected and not self.termination:
+            return False
+        return True
+
+    def raise_on_violation(self) -> None:
+        if not self.ok:
+            raise ConsensusViolation("; ".join(self.violations) or "consensus property violated")
+
+
+def check_agreement(decisions: Mapping[int, Any]) -> Optional[str]:
+    """Return a violation description if two processes decided differently."""
+    values = set(decisions.values())
+    if len(values) > 1:
+        return f"agreement violated: decided values {sorted(map(repr, values))}"
+    return None
+
+
+def check_validity(decisions: Mapping[int, Any], proposals: Mapping[int, Any]) -> Optional[str]:
+    """Return a violation description if a decided value was never proposed."""
+    proposed = set(proposals.values())
+    for pid, value in decisions.items():
+        if value not in proposed:
+            return (
+                f"validity violated: process {pid} decided {value!r}, "
+                f"which was proposed by nobody (proposals: {sorted(proposed)})"
+            )
+    return None
+
+
+def check_termination(result: SimulationResult) -> Optional[str]:
+    """Return a violation description if some correct process never decided."""
+    if result.non_terminated:
+        return (
+            f"termination violated: correct processes {sorted(result.non_terminated)} "
+            f"did not decide (status: {result.status.value})"
+        )
+    return None
+
+
+def verify_run(
+    result: SimulationResult,
+    proposals: Mapping[int, Any],
+    topology: Optional[ClusterTopology] = None,
+    termination_expected: Optional[bool] = None,
+) -> PropertyReport:
+    """Check a finished run against validity, agreement and termination.
+
+    When ``termination_expected`` is not given it is derived from the paper's
+    condition: termination is expected iff the clusters containing at least
+    one correct process cover a strict majority (which requires ``topology``).
+    """
+    violations: List[str] = []
+
+    agreement_violation = check_agreement(result.decisions)
+    if agreement_violation:
+        violations.append(agreement_violation)
+    validity_violation = check_validity(result.decisions, proposals)
+    if validity_violation:
+        violations.append(validity_violation)
+
+    if termination_expected is None:
+        if topology is None:
+            termination_expected = True
+        else:
+            termination_expected = topology.termination_condition_holds(result.correct)
+
+    termination_violation = check_termination(result)
+    terminated = termination_violation is None
+    if termination_expected and termination_violation:
+        violations.append(termination_violation)
+
+    return PropertyReport(
+        validity=validity_violation is None,
+        agreement=agreement_violation is None,
+        termination_expected=termination_expected,
+        termination=terminated,
+        violations=violations,
+    )
+
+
+def decisions_are_unanimous(result: SimulationResult) -> bool:
+    """True when at least one process decided and all decisions are equal."""
+    return bool(result.decisions) and len(result.decided_values) == 1

@@ -1,0 +1,43 @@
+"""Experiments E1–E8: one module per paper figure / quantitative claim.
+
+See DESIGN.md for the experiment index and EXPERIMENTS.md for the recorded
+paper-claim vs measured outcomes.  Every module exposes ``run(...)`` (used by
+the benchmark harness) and ``main()`` (prints the report).
+"""
+
+from . import (
+    e1_figure1,
+    e2_majority_crash,
+    e3_one_for_all,
+    e4_rounds,
+    e5_mm_comparison,
+    e6_degenerate,
+    e7_indulgence,
+    e8_scalability,
+)
+from .common import ExperimentReport, default_seeds
+
+ALL_EXPERIMENTS = {
+    "E1": e1_figure1,
+    "E2": e2_majority_crash,
+    "E3": e3_one_for_all,
+    "E4": e4_rounds,
+    "E5": e5_mm_comparison,
+    "E6": e6_degenerate,
+    "E7": e7_indulgence,
+    "E8": e8_scalability,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentReport",
+    "default_seeds",
+    "e1_figure1",
+    "e2_majority_crash",
+    "e3_one_for_all",
+    "e4_rounds",
+    "e5_mm_comparison",
+    "e6_degenerate",
+    "e7_indulgence",
+    "e8_scalability",
+]

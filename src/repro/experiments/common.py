@@ -1,0 +1,58 @@
+"""Shared plumbing for the experiment modules E1–E8.
+
+Each experiment module exposes ``run(...) -> ExperimentReport`` plus a
+``main()`` that prints the report; the benchmark files under ``benchmarks/``
+call ``run`` with small parameters, and EXPERIMENTS.md records the paper
+claim next to the measured outcome for each experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..harness.report import format_records
+
+
+@dataclass
+class ExperimentReport:
+    """A uniform container for experiment outcomes."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    passed: Optional[bool] = None
+
+    def add_row(self, **fields: Any) -> None:
+        self.rows.append(dict(fields))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column across the rows."""
+        return [row.get(name) for row in self.rows]
+
+    def row_where(self, **criteria: Any) -> Dict[str, Any]:
+        """The first row matching all the given column values."""
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                return row
+        raise KeyError(f"no row matching {criteria!r}")
+
+    def format(self, precision: int = 2) -> str:
+        lines = [f"=== {self.experiment_id}: {self.title} ===", f"Paper claim: {self.paper_claim}"]
+        if self.rows:
+            lines.append(format_records(self.rows, precision=precision))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        if self.passed is not None:
+            lines.append(f"reproduction check: {'PASSED' if self.passed else 'FAILED'}")
+        return "\n".join(lines)
+
+
+def default_seeds(count: int, base: int = 1000) -> List[int]:
+    """A deterministic list of ``count`` distinct seeds."""
+    return [base + index for index in range(count)]

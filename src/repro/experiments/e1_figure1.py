@@ -1,0 +1,77 @@
+"""E1 — Figure 1: two cluster decompositions of n = 7 processes into m = 3 clusters.
+
+Reconstructs both decompositions of the paper's Figure 1, checks that they
+are valid partitions with the properties the paper uses (the right one has a
+majority cluster, the left one does not), and runs both hybrid algorithms on
+both decompositions to show that the decomposition shape changes the cost
+profile (rounds, messages, shared-memory operations) but never the decided
+outcome's correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..cluster.topology import ClusterTopology
+from ..harness.runner import ExperimentConfig, run_consensus
+from ..harness.stats import summarize
+from .common import ExperimentReport, default_seeds
+
+PAPER_CLAIM = (
+    "Figure 1 shows two decompositions of 7 processes into 3 clusters; in the right one, "
+    "cluster P[2]={p2..p5} holds a strict majority, which is what makes the headline "
+    "fault-tolerance scenario possible."
+)
+
+
+def run(seeds: Optional[Sequence[int]] = None, algorithms: Sequence[str] = ("hybrid-local-coin", "hybrid-common-coin")) -> ExperimentReport:
+    """Run both hybrid algorithms on both Figure 1 decompositions."""
+    seeds = list(seeds) if seeds is not None else default_seeds(10)
+    report = ExperimentReport(
+        experiment_id="E1",
+        title="Figure 1 cluster decompositions",
+        paper_claim=PAPER_CLAIM,
+    )
+    decompositions = {
+        "figure1-left": ClusterTopology.figure1_left(),
+        "figure1-right": ClusterTopology.figure1_right(),
+    }
+    for name, topology in decompositions.items():
+        report.add_note(f"{name}: {topology.describe()} (majority cluster: "
+                        f"{topology.majority_cluster_index() is not None})")
+        for algorithm in algorithms:
+            rounds, messages, sm_ops, terminated = [], [], [], []
+            for seed in seeds:
+                result = run_consensus(
+                    ExperimentConfig(topology=topology, algorithm=algorithm, proposals="split", seed=seed)
+                )
+                result.report.raise_on_violation()
+                rounds.append(result.metrics.rounds_max)
+                messages.append(result.metrics.messages_sent)
+                sm_ops.append(result.metrics.sm_ops)
+                terminated.append(result.metrics.terminated)
+            report.add_row(
+                decomposition=name,
+                algorithm=algorithm,
+                n=topology.n,
+                m=topology.m,
+                majority_cluster=topology.majority_cluster_index() is not None,
+                termination_rate=sum(terminated) / len(terminated),
+                mean_rounds=summarize(rounds).mean,
+                mean_messages=summarize(messages).mean,
+                mean_sm_ops=summarize(sm_ops).mean,
+            )
+    report.passed = (
+        all(row["termination_rate"] == 1.0 for row in report.rows)
+        and ClusterTopology.figure1_right().majority_cluster_index() is not None
+        and ClusterTopology.figure1_left().majority_cluster_index() is None
+    )
+    return report
+
+
+def main() -> None:  # pragma: no cover - convenience entry point
+    print(run().format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

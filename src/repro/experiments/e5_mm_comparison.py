@@ -1,0 +1,109 @@
+"""E5 — Comparison with the m&m communication model (Section III-C).
+
+The paper contrasts its cluster-based hybrid model with the m&m model of
+Aguilera et al. on the shared-memory cost per phase of a round:
+
+* consensus objects accessed system-wide per phase: ``m`` (one per cluster)
+  in the hybrid model vs ``n`` (one per process-centred memory) in m&m;
+* consensus-object invocations per process per phase: exactly ``1`` in the
+  hybrid model vs ``α_i + 1`` (own memory plus each neighbour's) in m&m.
+
+The experiment runs Algorithm 2 and the m&m analogue on matched sharing
+structures (the m&m neighbourhood graph is derived from the cluster
+topology, so ``α_i + 1`` equals the cluster size of ``p_i``) and reports the
+measured per-phase counts next to the model predictions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..cluster.topology import ClusterTopology
+from ..harness.runner import ExperimentConfig, run_consensus
+from ..harness.stats import mean as _mean
+from ..harness.stats import summarize
+from ..mm.domain import SharedMemoryDomain
+from .common import ExperimentReport, default_seeds
+
+PAPER_CLAIM = (
+    "Per phase of a round, the hybrid model touches m shared-memory consensus objects and each "
+    "process invokes exactly 1, whereas the m&m model touches n objects and each process p_i "
+    "invokes α_i + 1 of them; moreover the m&m model cannot provide the one-for-all attribution."
+)
+
+
+def run(
+    seeds: Optional[Sequence[int]] = None,
+    sizes: Sequence[int] = (8, 12),
+    cluster_counts: Sequence[int] = (2, 4),
+) -> ExperimentReport:
+    """Hybrid vs m&m per-phase shared-memory cost on matched structures."""
+    seeds = list(seeds) if seeds is not None else default_seeds(8)
+    report = ExperimentReport(
+        experiment_id="E5",
+        title="Hybrid model vs m&m model: shared-memory cost per phase",
+        paper_claim=PAPER_CLAIM,
+    )
+    for n in sizes:
+        for m in cluster_counts:
+            if m > n:
+                continue
+            topology = ClusterTopology.even_split(n, m)
+            domain = SharedMemoryDomain.from_cluster_topology(topology)
+            predicted_mm_invocations = _mean(
+                [domain.degree(pid) + 1 for pid in domain.process_ids()]
+            )
+            configs = {
+                "hybrid-local-coin": ExperimentConfig(
+                    topology=topology, algorithm="hybrid-local-coin", proposals="split"
+                ),
+                "mm-local-coin": ExperimentConfig(
+                    topology=topology, algorithm="mm-local-coin", proposals="split", mm_domain=domain
+                ),
+            }
+            for label, config in configs.items():
+                objects_per_phase, invocations_per_process = [], []
+                rounds, messages = [], []
+                for seed in seeds:
+                    result = run_consensus(config.with_seed(seed))
+                    result.report.raise_on_violation()
+                    objects_per_phase.append(result.metrics.consensus_objects_per_phase)
+                    invocations_per_process.append(result.metrics.invocations_per_process_per_phase)
+                    rounds.append(result.metrics.rounds_max)
+                    messages.append(result.metrics.messages_sent)
+                predicted_objects = topology.m if label.startswith("hybrid") else topology.n
+                predicted_invocations = 1.0 if label.startswith("hybrid") else predicted_mm_invocations
+                report.add_row(
+                    n=n,
+                    m=m,
+                    model=label,
+                    objects_per_phase=summarize(objects_per_phase).mean,
+                    predicted_objects_per_phase=float(predicted_objects),
+                    invocations_per_process_per_phase=summarize(invocations_per_process).mean,
+                    predicted_invocations_per_process=float(predicted_invocations),
+                    mean_rounds=summarize(rounds).mean,
+                    mean_messages=summarize(messages).mean,
+                )
+
+    # The measured per-phase counts should match the model predictions to
+    # within 25% (slow processes may not touch the last round's objects).
+    passed = True
+    for row in report.rows:
+        for measured_key, predicted_key in (
+            ("objects_per_phase", "predicted_objects_per_phase"),
+            ("invocations_per_process_per_phase", "predicted_invocations_per_process"),
+        ):
+            predicted = row[predicted_key]
+            measured = row[measured_key]
+            if predicted > 0 and abs(measured - predicted) > 0.25 * predicted:
+                passed = False
+    report.passed = passed
+    return report
+
+
+def main() -> None:  # pragma: no cover
+    print(run().format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

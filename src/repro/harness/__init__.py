@@ -1,0 +1,48 @@
+"""Experiment harness: runners, metrics, sweeps, statistics and reporting."""
+
+from .metrics import PHASES_PER_ROUND, RunMetrics, collect_metrics
+from .report import comparison_rows, format_records, format_series, format_table
+from .runner import (
+    ALGORITHMS,
+    ExperimentConfig,
+    RunResult,
+    run_consensus,
+    run_seeds,
+    termination_expected,
+)
+from .stats import SummaryStats, geometric_mean, mean, median, percentile, proportion, sample_std, summarize
+from .sweep import SweepPoint, SweepResult, grid, repeat, sweep
+from .workloads import PROPOSAL_PATTERNS, crash_scenarios, resolve_proposals, standard_topologies
+
+__all__ = [
+    "ALGORITHMS",
+    "PHASES_PER_ROUND",
+    "PROPOSAL_PATTERNS",
+    "ExperimentConfig",
+    "RunMetrics",
+    "RunResult",
+    "SummaryStats",
+    "SweepPoint",
+    "SweepResult",
+    "collect_metrics",
+    "comparison_rows",
+    "crash_scenarios",
+    "format_records",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+    "grid",
+    "mean",
+    "median",
+    "percentile",
+    "proportion",
+    "repeat",
+    "resolve_proposals",
+    "run_consensus",
+    "run_seeds",
+    "sample_std",
+    "standard_topologies",
+    "summarize",
+    "sweep",
+    "termination_expected",
+]

@@ -1,0 +1,152 @@
+"""Run metrics: the quantities the experiments measure and report.
+
+Following the calibration note in DESIGN.md, the measured quantities are
+*counts* (messages, shared-memory operations, consensus-object invocations,
+rounds, coin flips) and *virtual* latencies, not wall-clock durations -- the
+paper's claims are about these structural quantities, and Python wall-clock
+numbers would only measure the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..sharedmem.memory import ClusterSharedMemory
+from ..sim.kernel import SimulationResult
+
+
+#: Phases per round for each algorithm (used to normalise per-phase counts).
+PHASES_PER_ROUND = {
+    "hybrid-local-coin": 2,
+    "hybrid-common-coin": 1,
+    "ben-or": 2,
+    "mp-common-coin": 1,
+    "shared-memory": 1,
+    "mm-local-coin": 2,
+}
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate measurements of one consensus run."""
+
+    algorithm: str
+    n: int
+    m: int
+    seed: int
+    status: str
+    terminated: bool
+    decided_value: Optional[int]
+    crashed: int
+    correct_deciders: int
+    rounds_max: int
+    rounds_mean: float
+    phases_per_round: int
+    messages_sent: int
+    messages_delivered: int
+    bytes_sent: int
+    sm_ops: int
+    consensus_objects_created: int
+    consensus_invocations: int
+    coin_flips: int
+    decision_time_max: float
+    decision_time_mean: float
+    end_time: float
+    events_processed: int
+    wall_time_seconds: float = 0.0
+
+    # ------------------------------------------------------------ derived
+    @property
+    def consensus_objects_per_phase(self) -> float:
+        """Shared-memory consensus objects touched per phase of a round.
+
+        The paper's Section III-C comparison: ``m`` for the hybrid model,
+        ``n`` for the m&m model.
+        """
+        phases = self.rounds_max * self.phases_per_round
+        if phases == 0:
+            return 0.0
+        return self.consensus_objects_created / phases
+
+    @property
+    def invocations_per_process_per_phase(self) -> float:
+        """Consensus-object invocations per correct process per phase.
+
+        ``1`` in the hybrid model, ``α_i + 1`` (averaged) in the m&m model.
+        """
+        participants = self.n - self.crashed
+        phases = self.rounds_max * self.phases_per_round
+        if participants == 0 or phases == 0:
+            return 0.0
+        return self.consensus_invocations / (participants * phases)
+
+    @property
+    def messages_per_round(self) -> float:
+        if self.rounds_max == 0:
+            return float(self.messages_sent)
+        return self.messages_sent / self.rounds_max
+
+    def as_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["consensus_objects_per_phase"] = self.consensus_objects_per_phase
+        data["invocations_per_process_per_phase"] = self.invocations_per_process_per_phase
+        data["messages_per_round"] = self.messages_per_round
+        return data
+
+
+def collect_metrics(
+    algorithm: str,
+    seed: int,
+    topology,
+    result: SimulationResult,
+    network,
+    memories: Sequence[ClusterSharedMemory] = (),
+    wall_time_seconds: float = 0.0,
+) -> RunMetrics:
+    """Assemble a :class:`RunMetrics` from the run's substrate objects."""
+    decider_rounds = [result.rounds[pid] for pid in result.decisions]
+    participant_rounds = [result.rounds[pid] for pid in result.correct] or [0]
+    decision_times = list(result.decision_times.values())
+    stats = result.process_stats.values()
+    decided_value: Optional[int] = None
+    if result.decisions and len(result.decided_values) == 1:
+        decided_value = next(iter(result.decided_values))
+
+    memories = list(memories)
+    return RunMetrics(
+        algorithm=algorithm,
+        n=topology.n,
+        m=topology.m,
+        seed=seed,
+        status=result.status.value,
+        terminated=result.status.terminated,
+        decided_value=decided_value,
+        crashed=len(result.crashed),
+        correct_deciders=len([pid for pid in result.decisions if pid in result.correct]),
+        rounds_max=max(participant_rounds + decider_rounds, default=0),
+        rounds_mean=(sum(decider_rounds) / len(decider_rounds)) if decider_rounds else 0.0,
+        phases_per_round=PHASES_PER_ROUND.get(algorithm, 1),
+        messages_sent=network.stats.messages_sent,
+        messages_delivered=network.stats.messages_delivered,
+        bytes_sent=network.stats.bytes_sent,
+        sm_ops=sum(memory.total_operations() for memory in memories),
+        consensus_objects_created=sum(memory.consensus_objects_created() for memory in memories),
+        consensus_invocations=sum(memory.consensus_invocations() for memory in memories),
+        coin_flips=sum(stat.coin_flips for stat in stats),
+        decision_time_max=max(decision_times, default=0.0),
+        decision_time_mean=(sum(decision_times) / len(decision_times)) if decision_times else 0.0,
+        end_time=result.end_time,
+        events_processed=result.events_processed,
+        wall_time_seconds=wall_time_seconds,
+    )
+
+
+def metrics_field_names(numeric_only: bool = True) -> List[str]:
+    """Names of the metric fields (numeric ones by default), for aggregation."""
+    numeric_types = (int, float)
+    names: List[str] = []
+    for name, spec in RunMetrics.__dataclass_fields__.items():
+        if not numeric_only or spec.type in ("int", "float", "Optional[int]"):
+            names.append(name)
+    return names

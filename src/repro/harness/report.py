@@ -1,0 +1,74 @@
+"""Plain-text reporting of experiment results (paper-style rows and series)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_cell(value: Any, precision: int = 2) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    rendered_rows = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_records(
+    records: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dictionaries (e.g. sweep rows) as a table."""
+    if not records:
+        return title or "(no rows)"
+    if columns is None:
+        columns = list(records[0].keys())
+    rows = [[record.get(column, "") for column in columns] for record in records]
+    return format_table(columns, rows, precision=precision, title=title)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple],
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render an (x, y) series as two aligned columns (a text "figure")."""
+    rows = [(x, y) for x, y in points]
+    return format_table([x_label, y_label], rows, precision=precision, title=title)
+
+
+def comparison_rows(
+    label_to_metrics: Mapping[str, Mapping[str, Any]],
+    fields: Sequence[str],
+) -> List[List[Any]]:
+    """Rows of ``[label, field1, field2, ...]`` for :func:`format_table`."""
+    rows = []
+    for label, metrics in label_to_metrics.items():
+        rows.append([label] + [metrics.get(field) for field in fields])
+    return rows

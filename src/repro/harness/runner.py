@@ -1,0 +1,240 @@
+"""The experiment runner: wire substrates and algorithms, run, verify, measure.
+
+``run_consensus(ExperimentConfig(...))`` is the single entry point used by
+the examples, the integration tests and the benchmark harness.  It builds a
+seeded simulation (network, cluster memories, coins), instantiates one
+algorithm object per process, installs the crash pattern, runs the kernel to
+completion, checks the consensus properties and returns the collected
+metrics.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..baselines.ben_or import BenOrConsensus
+from ..baselines.mp_common_coin import MessagePassingCommonCoinConsensus
+from ..baselines.shared_memory_only import SharedMemoryConsensus
+from ..cluster.failures import FailurePattern
+from ..cluster.topology import ClusterTopology
+from ..coins.common import CommonCoin
+from ..coins.local import LocalCoin
+from ..core.base import ProcessEnvironment
+from ..core.common_coin import CommonCoinConsensus
+from ..core.local_coin import LocalCoinConsensus
+from ..core.properties import PropertyReport, verify_run
+from ..mm.consensus import MMConsensus
+from ..mm.domain import SharedMemoryDomain
+from ..mm.memory import build_mm_memories
+from ..network.delays import DelayModel, UniformDelay
+from ..network.transport import Network
+from ..sharedmem.memory import ClusterSharedMemory, build_cluster_memories
+from ..sim.kernel import SimConfig, SimulationKernel, SimulationResult
+from ..sim.rng import RandomSource
+from .metrics import RunMetrics, collect_metrics
+from .workloads import ProposalSpec, resolve_proposals
+
+#: Algorithms runnable through the harness, with their requirements.
+ALGORITHMS = (
+    "hybrid-local-coin",
+    "hybrid-common-coin",
+    "ben-or",
+    "mp-common-coin",
+    "shared-memory",
+    "mm-local-coin",
+)
+
+#: Algorithms whose termination only needs the paper's cluster condition.
+_CLUSTER_CONDITION_ALGORITHMS = {"hybrid-local-coin", "hybrid-common-coin"}
+#: Algorithms that need a strict majority of correct processes.
+_MAJORITY_ALGORITHMS = {"ben-or", "mp-common-coin", "mm-local-coin"}
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to reproduce one consensus run."""
+
+    topology: ClusterTopology
+    algorithm: str = "hybrid-local-coin"
+    proposals: ProposalSpec = "split"
+    failure_pattern: FailurePattern = field(default_factory=FailurePattern.none)
+    seed: int = 0
+    delay_model: DelayModel = field(default_factory=UniformDelay)
+    sim: SimConfig = field(default_factory=SimConfig)
+    consensus_kind: str = "cas"
+    mm_domain: Optional[SharedMemoryDomain] = None
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}; choose from {ALGORITHMS}")
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        """A copy of this configuration with a different master seed."""
+        return replace(self, seed=seed)
+
+
+@dataclass
+class RunResult:
+    """The outcome of one :func:`run_consensus` call."""
+
+    config: ExperimentConfig
+    proposals: Dict[int, int]
+    sim_result: SimulationResult
+    metrics: RunMetrics
+    report: PropertyReport
+    memories: List[ClusterSharedMemory] = field(default_factory=list)
+
+    @property
+    def decided_value(self) -> Optional[int]:
+        return self.metrics.decided_value
+
+    @property
+    def terminated(self) -> bool:
+        return self.metrics.terminated
+
+
+def termination_expected(
+    algorithm: str, topology: ClusterTopology, failure_pattern: FailurePattern
+) -> bool:
+    """Whether the algorithm is *expected* to terminate under this pattern.
+
+    Hybrid algorithms need the paper's cluster condition; pure message-passing
+    algorithms (and the m&m analogue) need a strict majority of correct
+    processes; the single-cluster shared-memory baseline only needs one
+    correct process.
+    """
+    correct = failure_pattern.correct(topology.n)
+    if not correct:
+        return False
+    if algorithm in _CLUSTER_CONDITION_ALGORITHMS:
+        return topology.termination_condition_holds(correct)
+    if algorithm in _MAJORITY_ALGORITHMS:
+        return topology.is_majority(len(correct))
+    if algorithm == "shared-memory":
+        return True
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def _build_algorithm(
+    config: ExperimentConfig,
+    pid: int,
+    proposal: int,
+    memories: Sequence[ClusterSharedMemory],
+    mm_memories,
+    mm_domain,
+    local_coins: Mapping[int, LocalCoin],
+    common_coin: Optional[CommonCoin],
+):
+    topology = config.topology
+    cluster_memory = memories[topology.cluster_index_of(pid)] if memories else None
+    env = ProcessEnvironment(
+        pid=pid,
+        proposal=proposal,
+        topology=topology,
+        memory=cluster_memory,
+        local_coin=local_coins.get(pid),
+        common_coin=common_coin,
+    )
+    tag = config.tag
+    if config.algorithm == "hybrid-local-coin":
+        return LocalCoinConsensus(env, tag)
+    if config.algorithm == "hybrid-common-coin":
+        return CommonCoinConsensus(env, tag)
+    if config.algorithm == "ben-or":
+        env.memory = None
+        return BenOrConsensus(env, tag)
+    if config.algorithm == "mp-common-coin":
+        env.memory = None
+        return MessagePassingCommonCoinConsensus(env, tag)
+    if config.algorithm == "shared-memory":
+        return SharedMemoryConsensus(env, tag)
+    if config.algorithm == "mm-local-coin":
+        env.memory = None
+        return MMConsensus(env, mm_domain, mm_memories, tag)
+    raise ValueError(f"unknown algorithm {config.algorithm!r}")  # pragma: no cover
+
+
+def run_consensus(config: ExperimentConfig) -> RunResult:
+    """Run one consensus instance end to end and verify its properties."""
+    topology = config.topology
+    rng = RandomSource(config.seed)
+    kernel = SimulationKernel(config=config.sim, rng=rng)
+    network = Network(topology.n, delay_model=config.delay_model, rng=rng)
+    kernel.attach_network(network)
+
+    proposals = resolve_proposals(config.proposals, topology.n, rng.stream("proposals"))
+
+    needs_cluster_memory = config.algorithm in ("hybrid-local-coin", "hybrid-common-coin", "shared-memory")
+    memories: List[ClusterSharedMemory] = (
+        build_cluster_memories(topology, config.consensus_kind) if needs_cluster_memory else []
+    )
+
+    mm_domain = None
+    mm_memories = None
+    if config.algorithm == "mm-local-coin":
+        mm_domain = config.mm_domain or SharedMemoryDomain.from_cluster_topology(topology)
+        mm_memories = build_mm_memories(mm_domain, config.consensus_kind)
+
+    needs_local_coin = config.algorithm in ("hybrid-local-coin", "ben-or", "mm-local-coin")
+    local_coins: Dict[int, LocalCoin] = {}
+    if needs_local_coin:
+        local_coins = {pid: LocalCoin(rng.stream("local-coin", pid)) for pid in topology.process_ids()}
+
+    needs_common_coin = config.algorithm in ("hybrid-common-coin", "mp-common-coin")
+    common_coin = CommonCoin(seed=config.seed) if needs_common_coin else None
+
+    for pid in topology.process_ids():
+        algorithm = _build_algorithm(
+            config, pid, proposals[pid], memories, mm_memories, mm_domain, local_coins, common_coin
+        )
+        kernel.add_process(pid, algorithm.run)
+
+    config.failure_pattern.install(kernel)
+
+    started = _time.perf_counter()
+    sim_result = kernel.run()
+    wall = _time.perf_counter() - started
+
+    all_memories: List[ClusterSharedMemory] = list(memories)
+    if mm_memories:
+        all_memories.extend(mm_memories.values())
+
+    metrics = collect_metrics(
+        algorithm=config.algorithm,
+        seed=config.seed,
+        topology=topology,
+        result=sim_result,
+        network=network,
+        memories=all_memories,
+        wall_time_seconds=wall,
+    )
+    expected = termination_expected(config.algorithm, topology, config.failure_pattern)
+    report = verify_run(sim_result, proposals, topology, termination_expected=expected)
+
+    return RunResult(
+        config=config,
+        proposals=proposals,
+        sim_result=sim_result,
+        metrics=metrics,
+        report=report,
+        memories=all_memories,
+    )
+
+
+def run_seeds(config: ExperimentConfig, seeds: Sequence[int], check: bool = True) -> List[RunResult]:
+    """Run the same configuration under several seeds.
+
+    With ``check`` (the default) every run's safety properties are asserted,
+    and termination is asserted whenever it is expected for the algorithm and
+    crash pattern.
+    """
+    results = []
+    for seed in seeds:
+        result = run_consensus(config.with_seed(seed))
+        if check:
+            result.report.raise_on_violation()
+        results.append(result)
+    return results

@@ -1,0 +1,118 @@
+"""Small statistics helpers for aggregating repeated runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Summary of a sample of numbers."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    p90: float
+    ci95_half_width: float
+
+    @property
+    def ci95(self) -> tuple:
+        """Approximate 95% confidence interval for the mean (normal approx.)."""
+        return (self.mean - self.ci95_half_width, self.mean + self.ci95_half_width)
+
+    def format(self, precision: int = 2) -> str:
+        return (
+            f"{self.mean:.{precision}f} ± {self.ci95_half_width:.{precision}f} "
+            f"(min {self.minimum:.{precision}f}, med {self.median:.{precision}f}, "
+            f"max {self.maximum:.{precision}f}, n={self.count})"
+        )
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of an empty sample")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((value - mu) ** 2 for value in values) / (len(values) - 1))
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100])."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Summary statistics for a sample (raises on an empty sample)."""
+    data = [float(value) for value in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    mu = mean(data)
+    std = sample_std(data)
+    half_width = 1.96 * std / math.sqrt(len(data)) if len(data) > 1 else 0.0
+    return SummaryStats(
+        count=len(data),
+        mean=mu,
+        std=std,
+        minimum=min(data),
+        maximum=max(data),
+        median=median(data),
+        p90=percentile(data, 90.0),
+        ci95_half_width=half_width,
+    )
+
+
+def summarize_field(records: Sequence[Mapping[str, object]], field: str) -> SummaryStats:
+    """Summary of one numeric field across a list of record dictionaries."""
+    values = []
+    for record in records:
+        value = record.get(field)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            values.append(float(value))
+    return summarize(values)
+
+
+def proportion(flags: Iterable[bool]) -> float:
+    """Fraction of true values (0.0 for an empty sample)."""
+    data = list(flags)
+    if not data:
+        return 0.0
+    return sum(1 for flag in data if flag) / len(data)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    data = [float(value) for value in values]
+    if not data:
+        raise ValueError("geometric mean of an empty sample")
+    if any(value <= 0 for value in data):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(value) for value in data) / len(data))

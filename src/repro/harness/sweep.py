@@ -1,0 +1,133 @@
+"""Parameter sweeps over seeds, topologies, algorithms and crash scenarios."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .metrics import RunMetrics
+from .runner import ExperimentConfig, RunResult, run_consensus
+from .stats import SummaryStats, proportion, summarize
+
+
+@dataclass
+class SweepPoint:
+    """All repetitions of one parameter combination."""
+
+    label: str
+    parameters: Dict[str, Any]
+    results: List[RunResult]
+
+    @property
+    def metrics(self) -> List[RunMetrics]:
+        return [result.metrics for result in self.results]
+
+    def termination_rate(self) -> float:
+        return proportion(metrics.terminated for metrics in self.metrics)
+
+    def summary(self, metric: str) -> SummaryStats:
+        """Summary statistics of one numeric metric field across repetitions."""
+        values = [getattr(metrics, metric) for metrics in self.metrics]
+        return summarize(values)
+
+    def mean(self, metric: str) -> float:
+        return self.summary(metric).mean
+
+
+@dataclass
+class SweepResult:
+    """The outcome of a sweep: one :class:`SweepPoint` per combination."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def point(self, label: str) -> SweepPoint:
+        for candidate in self.points:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no sweep point labelled {label!r}")
+
+    def labels(self) -> List[str]:
+        return [point.label for point in self.points]
+
+    def table(self, metrics: Sequence[str]) -> List[Dict[str, Any]]:
+        """One row per point with the mean of each requested metric."""
+        rows = []
+        for point in self.points:
+            row: Dict[str, Any] = {"label": point.label, **point.parameters}
+            row["runs"] = len(point.results)
+            row["termination_rate"] = point.termination_rate()
+            for metric in metrics:
+                row[metric] = point.summary(metric).mean
+            rows.append(row)
+        return rows
+
+
+def repeat(config: ExperimentConfig, seeds: Sequence[int], check: bool = True) -> List[RunResult]:
+    """Run ``config`` once per seed, asserting properties when ``check``."""
+    results = []
+    for seed in seeds:
+        result = run_consensus(config.with_seed(seed))
+        if check:
+            result.report.raise_on_violation()
+        results.append(result)
+    return results
+
+
+def sweep(
+    base_config: ExperimentConfig,
+    variations: Mapping[str, Mapping[str, Any]],
+    seeds: Sequence[int],
+    check: bool = True,
+) -> SweepResult:
+    """Run every named variation of ``base_config`` under every seed.
+
+    ``variations`` maps a label to the set of :class:`ExperimentConfig`
+    field overrides that define the point, e.g.::
+
+        sweep(base, {
+            "hybrid": {"algorithm": "hybrid-local-coin"},
+            "ben-or": {"algorithm": "ben-or"},
+        }, seeds=range(20))
+    """
+    result = SweepResult()
+    for label, overrides in variations.items():
+        config = replace(base_config, **overrides)
+        runs = repeat(config, seeds, check=check)
+        result.points.append(SweepPoint(label=label, parameters=dict(overrides), results=runs))
+    return result
+
+
+def grid(
+    base_config: ExperimentConfig,
+    axes: Mapping[str, Sequence[Any]],
+    seeds: Sequence[int],
+    label_format: Optional[Callable[[Dict[str, Any]], str]] = None,
+    check: bool = True,
+) -> SweepResult:
+    """Cartesian-product sweep over several config fields.
+
+    ``axes`` maps field names to the values to try; every combination is run
+    under every seed.  Labels default to ``field=value`` pairs joined by
+    commas.
+    """
+    result = SweepResult()
+    names = list(axes)
+    for combination in itertools.product(*(axes[name] for name in names)):
+        overrides = dict(zip(names, combination))
+        label = (
+            label_format(overrides)
+            if label_format is not None
+            else ", ".join(f"{name}={_short(value)}" for name, value in overrides.items())
+        )
+        config = replace(base_config, **overrides)
+        runs = repeat(config, seeds, check=check)
+        result.points.append(SweepPoint(label=label, parameters=overrides, results=runs))
+    return result
+
+
+def _short(value: Any) -> str:
+    text = getattr(value, "describe", None)
+    if callable(text):
+        return text()
+    return str(value)

@@ -1,0 +1,115 @@
+"""Workload generators: proposal vectors, topologies and crash scenarios.
+
+The consensus "workload" has three axes: what the processes propose, how
+they are partitioned into clusters, and who crashes when.  The experiments
+combine the named generators below to build the scenarios described in the
+paper (unanimous vs split inputs, balanced vs majority-cluster topologies,
+benign vs adversarial crash patterns).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..cluster.failures import FailurePattern
+from ..cluster.topology import ClusterTopology
+
+ProposalSpec = Union[str, Mapping[int, int], Sequence[int]]
+
+#: Named proposal patterns accepted by :func:`resolve_proposals`.
+PROPOSAL_PATTERNS = ("unanimous-0", "unanimous-1", "split", "alternating", "random", "one-dissenter")
+
+
+def resolve_proposals(spec: ProposalSpec, n: int, rng: Optional[random.Random] = None) -> Dict[int, int]:
+    """Turn a proposal specification into an explicit ``{pid: 0|1}`` map.
+
+    ``spec`` may be a mapping, a sequence of length ``n``, or one of the
+    named patterns:
+
+    * ``unanimous-0`` / ``unanimous-1`` -- everybody proposes the same bit;
+    * ``split`` -- the first half proposes 0, the second half 1 (the hardest
+      deterministic input for randomized binary consensus);
+    * ``alternating`` -- proposals alternate 0, 1, 0, 1, ... by process id;
+    * ``one-dissenter`` -- everybody proposes 0 except the last process;
+    * ``random`` -- independent unbiased proposals (requires ``rng``).
+    """
+    if isinstance(spec, Mapping):
+        proposals = {int(pid): int(value) for pid, value in spec.items()}
+        if sorted(proposals) != list(range(n)):
+            raise ValueError(f"proposal mapping must cover exactly 0..{n - 1}")
+    elif isinstance(spec, str):
+        if spec == "unanimous-0":
+            proposals = {pid: 0 for pid in range(n)}
+        elif spec == "unanimous-1":
+            proposals = {pid: 1 for pid in range(n)}
+        elif spec == "split":
+            proposals = {pid: (0 if pid < n // 2 else 1) for pid in range(n)}
+        elif spec == "alternating":
+            proposals = {pid: pid % 2 for pid in range(n)}
+        elif spec == "one-dissenter":
+            proposals = {pid: (1 if pid == n - 1 else 0) for pid in range(n)}
+        elif spec == "random":
+            if rng is None:
+                raise ValueError("the 'random' proposal pattern needs an rng")
+            proposals = {pid: rng.randrange(2) for pid in range(n)}
+        else:
+            raise ValueError(f"unknown proposal pattern {spec!r}; choose from {PROPOSAL_PATTERNS}")
+    else:
+        values = list(spec)
+        if len(values) != n:
+            raise ValueError(f"proposal sequence must have length {n}, got {len(values)}")
+        proposals = {pid: int(value) for pid, value in enumerate(values)}
+    for pid, value in proposals.items():
+        if value not in (0, 1):
+            raise ValueError(f"proposal of process {pid} must be 0 or 1, got {value}")
+    return proposals
+
+
+def standard_topologies(n: int) -> Dict[str, ClusterTopology]:
+    """A family of named topologies for a given ``n`` (used in sweeps)."""
+    topologies: Dict[str, ClusterTopology] = {
+        "single-cluster": ClusterTopology.single_cluster(n),
+        "singletons": ClusterTopology.singleton_clusters(n),
+    }
+    for m in (2, 3, 4):
+        if m <= n:
+            topologies[f"even-{m}"] = ClusterTopology.even_split(n, m)
+    if n >= 3:
+        topologies["majority-cluster"] = ClusterTopology.with_majority_cluster(n)
+    return topologies
+
+
+def crash_scenarios(topology: ClusterTopology, rng: Optional[random.Random] = None) -> Dict[str, FailurePattern]:
+    """Named crash scenarios for a topology.
+
+    * ``none`` -- failure-free;
+    * ``minority`` -- crash just under half of the processes at time 0;
+    * ``one-per-cluster-survives`` -- in every cluster, crash all members but
+      one (the "one for all" scenario);
+    * ``majority-with-majority-cluster`` -- the headline scenario (only when
+      the topology has a majority cluster);
+    * ``condition-violated`` -- crash whole clusters until the termination
+      condition fails (for indulgence runs).
+    """
+    scenarios: Dict[str, FailurePattern] = {"none": FailurePattern.none()}
+    minority = (topology.n - 1) // 2
+    scenarios["minority"] = FailurePattern.crash_set(range(minority), time=0.0)
+
+    survivors_pattern = FailurePattern.none()
+    for index in range(topology.m):
+        survivors_pattern = survivors_pattern.merged_with(
+            FailurePattern.crash_all_but_one_in_cluster(topology, index)
+        )
+    scenarios["one-per-cluster-survives"] = survivors_pattern
+
+    if topology.majority_cluster_index() is not None:
+        scenarios["majority-with-majority-cluster"] = (
+            FailurePattern.majority_crash_with_surviving_majority_cluster(topology)
+        )
+    scenarios["condition-violated"] = FailurePattern.violate_termination_condition(topology)
+    if rng is not None:
+        scenarios["random-minority"] = FailurePattern.random_crashes(
+            rng, topology.n, minority, earliest=0.0, latest=5.0
+        )
+    return scenarios

@@ -1,0 +1,14 @@
+"""The m&m (messages-and-memories) model used for the Section III-C comparison."""
+
+from .consensus import MMConsensus
+from .domain import DomainError, SharedMemoryDomain
+from .memory import ProcessCentredMemory, build_mm_memories, memories_accessible_by
+
+__all__ = [
+    "DomainError",
+    "MMConsensus",
+    "ProcessCentredMemory",
+    "SharedMemoryDomain",
+    "build_mm_memories",
+    "memories_accessible_by",
+]

@@ -1,0 +1,143 @@
+"""Uniform shared-memory domains of the m&m model (Aguilera et al., PODC'18).
+
+In the *uniform* m&m model the shared memories are derived from an undirected
+graph ``G = (V, E)`` over the processes: for each process ``p_i`` there is a
+"``p_i``-centred" memory shared by ``S_i = {p_i} ∪ neighbours(p_i)``.  The
+shared-memory domain is ``S = {S_i : p_i ∈ V}`` (a *set*, so identical
+neighbourhoods collapse).  The paper's appendix works through the example of
+its Figure 2, which :meth:`SharedMemoryDomain.figure2` reconstructs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+
+class DomainError(ValueError):
+    """Raised when a graph does not describe a valid uniform domain."""
+
+
+class SharedMemoryDomain:
+    """The uniform shared-memory domain induced by a neighbourhood graph."""
+
+    def __init__(self, n: int, edges: Iterable[Tuple[int, int]]) -> None:
+        if n < 1:
+            raise DomainError("n must be positive")
+        self.n = n
+        neighbours: Dict[int, Set[int]] = {pid: set() for pid in range(n)}
+        edge_set: Set[Tuple[int, int]] = set()
+        for a, b in edges:
+            a, b = int(a), int(b)
+            if not (0 <= a < n and 0 <= b < n):
+                raise DomainError(f"edge ({a}, {b}) out of range 0..{n - 1}")
+            if a == b:
+                raise DomainError(f"self-loop on process {a}")
+            neighbours[a].add(b)
+            neighbours[b].add(a)
+            edge_set.add((min(a, b), max(a, b)))
+        self._neighbours = {pid: frozenset(nbrs) for pid, nbrs in neighbours.items()}
+        self.edges: FrozenSet[Tuple[int, int]] = frozenset(edge_set)
+
+    # ---------------------------------------------------------------- queries
+    def neighbours(self, pid: int) -> FrozenSet[int]:
+        """Neighbours of ``pid`` in the graph ``G`` (the paper's ``α_i`` counts them)."""
+        return self._neighbours[pid]
+
+    def degree(self, pid: int) -> int:
+        """The paper's ``α_i``: number of neighbours of ``pid``."""
+        return len(self._neighbours[pid])
+
+    def memory_group(self, center: int) -> FrozenSet[int]:
+        """``S_center = {center} ∪ neighbours(center)``: who shares the centred memory."""
+        return frozenset({center}) | self._neighbours[center]
+
+    def memberships(self, pid: int) -> FrozenSet[int]:
+        """Centres of the memories ``pid`` can access: itself plus its neighbours.
+
+        Its size is ``α_i + 1``, the per-phase consensus-object invocation
+        count the paper attributes to the m&m model (Section III-C).
+        """
+        return frozenset({pid}) | self._neighbours[pid]
+
+    def domain(self) -> FrozenSet[FrozenSet[int]]:
+        """The shared-memory domain ``S`` as a set of process subsets."""
+        return frozenset(self.memory_group(pid) for pid in range(self.n))
+
+    def memory_count(self) -> int:
+        """Number of centred memories (one per process)."""
+        return self.n
+
+    def process_ids(self) -> range:
+        return range(self.n)
+
+    def is_connected(self) -> bool:
+        """Whether the neighbourhood graph is connected (BFS)."""
+        if self.n == 1:
+            return True
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            current = frontier.pop()
+            for nbr in self._neighbours[current]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    frontier.append(nbr)
+        return len(seen) == self.n
+
+    def describe(self) -> str:
+        groups = ", ".join(
+            f"S{pid}={{{','.join(str(q) for q in sorted(self.memory_group(pid)))}}}"
+            for pid in range(self.n)
+        )
+        return f"n={self.n}, edges={sorted(self.edges)}: {groups}"
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def from_cluster_topology(cls, topology) -> "SharedMemoryDomain":
+        """The m&m domain whose groups mimic a cluster topology.
+
+        Every pair of processes in the same cluster becomes an edge, so
+        ``S_i ⊇ cluster(i)``.  Used by experiment E5 to compare the two
+        models on "the same" sharing structure.
+        """
+        edges: List[Tuple[int, int]] = []
+        for members in topology.clusters:
+            ordered = sorted(members)
+            for index, a in enumerate(ordered):
+                for b in ordered[index + 1 :]:
+                    edges.append((a, b))
+        return cls(topology.n, edges)
+
+    @classmethod
+    def complete(cls, n: int) -> "SharedMemoryDomain":
+        """Every pair of processes shares registers (one big memory per process)."""
+        return cls(n, [(a, b) for a in range(n) for b in range(a + 1, n)])
+
+    @classmethod
+    def ring(cls, n: int) -> "SharedMemoryDomain":
+        """A ring: each process shares memory with its two ring neighbours."""
+        if n < 3:
+            raise DomainError("a ring needs at least 3 processes")
+        return cls(n, [(pid, (pid + 1) % n) for pid in range(n)])
+
+    @classmethod
+    def star(cls, n: int, center: int = 0) -> "SharedMemoryDomain":
+        """A star: one hub shares memory with everybody else."""
+        if n < 2:
+            raise DomainError("a star needs at least 2 processes")
+        return cls(n, [(center, pid) for pid in range(n) if pid != center])
+
+    @classmethod
+    def figure2(cls) -> "SharedMemoryDomain":
+        """The example of the paper's Figure 2 (five processes).
+
+        Using 0-based ids for the paper's ``p1..p5``: edges
+        ``p1–p2, p2–p3, p3–p4, p3–p5, p4–p5``, which yield
+        ``S1={p1,p2}``, ``S2={p1,p2,p3}``, ``S3={p2,p3,p4,p5}``,
+        ``S4=S5={p3,p4,p5}`` and hence a domain of four distinct groups.
+        """
+        return cls(5, [(0, 1), (1, 2), (2, 3), (2, 4), (3, 4)])
+
+    def __repr__(self) -> str:
+        return f"SharedMemoryDomain(n={self.n}, edges={sorted(self.edges)})"

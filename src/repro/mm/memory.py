@@ -1,0 +1,56 @@
+"""Process-centred shared memories of the m&m model.
+
+Each process ``p_i`` owns a centred memory shared by ``S_i = {p_i} ∪
+neighbours(p_i)``: ``p_i`` accesses it directly, its neighbours remotely.
+Functionally the memory offers the same registers and consensus objects as a
+cluster memory, so the class simply specialises
+:class:`~repro.sharedmem.memory.ClusterSharedMemory` with a ``center``; what
+differs between the models is *who* shares *how many* memories, which is
+exactly what experiment E5 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sharedmem.memory import ClusterSharedMemory
+from .domain import SharedMemoryDomain
+
+
+class ProcessCentredMemory(ClusterSharedMemory):
+    """The memory centred at one process of an m&m domain."""
+
+    def __init__(self, center: int, domain: SharedMemoryDomain, consensus_kind: str = "cas") -> None:
+        super().__init__(
+            cluster_index=center,
+            members=domain.memory_group(center),
+            consensus_kind=consensus_kind,
+        )
+        self.center = center
+
+    def _qualified(self, name: str) -> str:
+        return f"MEM_centered_{self.center}.{name}"
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessCentredMemory(center={self.center}, members={sorted(self.members)}, "
+            f"objects={self.consensus_objects_created()})"
+        )
+
+
+def build_mm_memories(
+    domain: SharedMemoryDomain, consensus_kind: str = "cas"
+) -> Dict[int, ProcessCentredMemory]:
+    """One centred memory per process of the domain, keyed by its centre."""
+    return {
+        center: ProcessCentredMemory(center, domain, consensus_kind)
+        for center in domain.process_ids()
+    }
+
+
+def memories_accessible_by(
+    pid: int, domain: SharedMemoryDomain, memories: Dict[int, ProcessCentredMemory]
+) -> List[ProcessCentredMemory]:
+    """The ``α_i + 1`` centred memories process ``pid`` may access, own first."""
+    centres = sorted(domain.memberships(pid), key=lambda center: (center != pid, center))
+    return [memories[center] for center in centres]

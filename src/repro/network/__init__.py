@@ -1,0 +1,27 @@
+"""Message-passing substrate: messages, delay models and the network."""
+
+from .delays import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    LogNormalDelay,
+    SpikeDelay,
+    UniformDelay,
+    delay_model_from_name,
+)
+from .message import Message, payload_size
+from .transport import Network, TrafficStats
+
+__all__ = [
+    "ConstantDelay",
+    "DelayModel",
+    "ExponentialDelay",
+    "LogNormalDelay",
+    "Message",
+    "Network",
+    "SpikeDelay",
+    "TrafficStats",
+    "UniformDelay",
+    "delay_model_from_name",
+    "payload_size",
+]

@@ -1,0 +1,133 @@
+"""Message-delay models for the asynchronous network.
+
+The paper only assumes that message transit times are finite but arbitrary.
+The simulator makes them concrete through a pluggable :class:`DelayModel`;
+experiments use different models to check that results do not hinge on a
+particular delay distribution.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+class DelayModel(ABC):
+    """Samples per-message transit delays (virtual-time units)."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one delay; must be strictly positive and finite."""
+
+    def describe(self) -> str:
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class ConstantDelay(DelayModel):
+    """Every message takes exactly ``value`` time units (synchronous-looking)."""
+
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValueError("delay must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class UniformDelay(DelayModel):
+    """Delays drawn uniformly from ``[low, high]`` (the default model)."""
+
+    low: float = 0.5
+    high: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.low <= 0 or self.high < self.low:
+            raise ValueError("need 0 < low <= high")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class ExponentialDelay(DelayModel):
+    """Memoryless delays with the given ``mean`` (plus a small floor)."""
+
+    mean: float = 1.0
+    floor: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0 or self.floor < 0:
+            raise ValueError("mean must be positive and floor non-negative")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.floor + rng.expovariate(1.0 / self.mean)
+
+
+@dataclass(frozen=True)
+class LogNormalDelay(DelayModel):
+    """Right-skewed delays typical of datacentre tail latencies."""
+
+    median: float = 1.0
+    sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.median <= 0 or self.sigma <= 0:
+            raise ValueError("median and sigma must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(math.log(self.median), self.sigma)
+
+
+@dataclass(frozen=True)
+class SpikeDelay(DelayModel):
+    """Mostly-fast delays with occasional large spikes.
+
+    With probability ``spike_probability`` the delay is drawn uniformly from
+    ``[spike_low, spike_high]``; otherwise from ``[low, high]``.  Models an
+    adversarial network that occasionally delays messages for a long time.
+    """
+
+    low: float = 0.5
+    high: float = 1.5
+    spike_probability: float = 0.05
+    spike_low: float = 10.0
+    spike_high: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.spike_probability <= 1:
+            raise ValueError("spike_probability must be in [0, 1]")
+        if self.low <= 0 or self.high < self.low:
+            raise ValueError("need 0 < low <= high")
+        if self.spike_low <= 0 or self.spike_high < self.spike_low:
+            raise ValueError("need 0 < spike_low <= spike_high")
+
+    def sample(self, rng: random.Random) -> float:
+        if rng.random() < self.spike_probability:
+            return rng.uniform(self.spike_low, self.spike_high)
+        return rng.uniform(self.low, self.high)
+
+
+_NAMED_MODELS = {
+    "constant": ConstantDelay,
+    "uniform": UniformDelay,
+    "exponential": ExponentialDelay,
+    "lognormal": LogNormalDelay,
+    "spike": SpikeDelay,
+}
+
+
+def delay_model_from_name(name: str, **kwargs) -> DelayModel:
+    """Instantiate a delay model by name (``uniform``, ``exponential``, ...)."""
+    try:
+        factory = _NAMED_MODELS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown delay model {name!r}; choose from {sorted(_NAMED_MODELS)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,95 @@
+"""The message-passing substrate: reliable asynchronous channels.
+
+The network connects every pair of processes with a reliable channel:
+messages are never lost, corrupted or duplicated, but transit for an
+arbitrary (randomly sampled) finite time, and are therefore not necessarily
+delivered in send order.  The kernel consults :meth:`Network.sample_delay`
+when it handles a send effect; this class also keeps the traffic counters
+used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..sim.rng import RandomSource
+from .delays import DelayModel, UniformDelay
+from .message import Message, payload_size
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate traffic counters for one run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    bytes_sent: int = 0
+    sent_by_process: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    delivered_to_process: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    sent_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "bytes_sent": self.bytes_sent,
+            "sent_by_kind": dict(self.sent_by_kind),
+        }
+
+
+class Network:
+    """Fully connected, reliable, asynchronous point-to-point network."""
+
+    def __init__(
+        self,
+        n: int,
+        delay_model: Optional[DelayModel] = None,
+        rng: Optional[RandomSource] = None,
+        self_delay_factor: float = 0.1,
+    ) -> None:
+        if n < 1:
+            raise ValueError("network needs at least one process")
+        self.n = n
+        self.delay_model = delay_model or UniformDelay()
+        self._rng = (rng or RandomSource(0)).stream("network", "delays")
+        self.self_delay_factor = self_delay_factor
+        self.stats = TrafficStats()
+        self._next_msg_id = 0
+
+    def prepare(self, sender: int, dest: int, payload: object, time: float) -> Message:
+        """Build the message envelope and account for the send."""
+        self._validate_pid(sender)
+        self._validate_pid(dest)
+        self._next_msg_id += 1
+        message = Message(
+            sender=sender, dest=dest, payload=payload, send_time=time, msg_id=self._next_msg_id
+        )
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += payload_size(payload)
+        self.stats.sent_by_process[sender] += 1
+        self.stats.sent_by_kind[type(payload).__name__] += 1
+        return message
+
+    def sample_delay(self, sender: int, dest: int) -> float:
+        """Transit time for one message; self-addressed messages are faster."""
+        delay = self.delay_model.sample(self._rng)
+        if sender == dest:
+            delay *= self.self_delay_factor
+        return delay
+
+    def record_delivery(self, message: Message) -> None:
+        """Account for a delivery (called by the kernel)."""
+        self.stats.messages_delivered += 1
+        self.stats.delivered_to_process[message.dest] += 1
+
+    def _validate_pid(self, pid: int) -> None:
+        if not 0 <= pid < self.n:
+            raise ValueError(f"process id {pid} out of range 0..{self.n - 1}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Network(n={self.n}, delay={self.delay_model!r}, "
+            f"sent={self.stats.messages_sent})"
+        )

@@ -1,0 +1,117 @@
+"""Read-modify-write synchronization primitives.
+
+The paper's model (Section II-A) enriches each cluster memory with an
+operation of infinite consensus number, naming ``compare&swap()`` as the
+canonical example.  This module provides compare&swap plus the other
+classic RMW objects (fetch&add, test&set, swap, LL/SC) so the consensus
+hierarchy can be exercised and tested: test&set has consensus number 2,
+whereas compare&swap and LL/SC solve consensus for any number of processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from .register import AtomicRegister
+
+
+class CompareAndSwapRegister(AtomicRegister):
+    """An atomic register with ``compare&swap`` (consensus number infinity)."""
+
+    def compare_and_swap(self, expected: Any, new: Any) -> bool:
+        """If the value equals ``expected``, replace it with ``new``.
+
+        Returns ``True`` when the swap took effect.
+        """
+        self.stats.rmw_ops += 1
+        if self._value == expected:
+            self._value = new
+            self._record("cas", new)
+            return True
+        return False
+
+    def compare_and_exchange(self, expected: Any, new: Any) -> Any:
+        """CAS variant returning the value observed *before* the operation."""
+        self.stats.rmw_ops += 1
+        previous = self._value
+        if previous == expected:
+            self._value = new
+            self._record("cas", new)
+        return previous
+
+
+class FetchAndAddRegister(AtomicRegister):
+    """An integer register with atomic ``fetch&add``."""
+
+    def __init__(self, name: str = "faa", initial: int = 0) -> None:
+        super().__init__(name, initial)
+
+    def fetch_and_add(self, delta: int = 1) -> int:
+        """Add ``delta`` and return the value held *before* the addition."""
+        self.stats.rmw_ops += 1
+        previous = self._value
+        self._value = previous + delta
+        self._record("faa", self._value)
+        return previous
+
+
+class TestAndSetRegister(AtomicRegister):
+    """A one-shot boolean register with atomic ``test&set`` (consensus number 2)."""
+
+    def __init__(self, name: str = "tas") -> None:
+        super().__init__(name, False)
+
+    def test_and_set(self) -> bool:
+        """Set the register to ``True``; return the value it held before."""
+        self.stats.rmw_ops += 1
+        previous = self._value
+        self._value = True
+        self._record("tas", True)
+        return previous
+
+
+class SwapRegister(AtomicRegister):
+    """An atomic register with unconditional ``swap``."""
+
+    def swap(self, new: Any) -> Any:
+        """Store ``new`` and return the previous value."""
+        self.stats.rmw_ops += 1
+        previous = self._value
+        self._value = new
+        self._record("swap", new)
+        return previous
+
+
+class LLSCRegister(AtomicRegister):
+    """A register with load-linked / store-conditional.
+
+    ``store_conditional`` by process ``pid`` succeeds only if no other write
+    (by any process, through any operation) happened since ``pid``'s last
+    ``load_linked``.
+    """
+
+    def __init__(self, name: str = "llsc", initial: Any = None) -> None:
+        super().__init__(name, initial)
+        self._version = 0
+        self._linked_version: Dict[int, int] = {}
+
+    def write(self, value: Any) -> None:
+        self._version += 1
+        super().write(value)
+
+    def load_linked(self, pid: int) -> Any:
+        """Read the value and remember the version seen by ``pid``."""
+        self.stats.rmw_ops += 1
+        self._linked_version[pid] = self._version
+        return self._value
+
+    def store_conditional(self, pid: int, value: Any) -> bool:
+        """Write ``value`` iff no write occurred since ``pid``'s load_linked."""
+        self.stats.rmw_ops += 1
+        linked = self._linked_version.get(pid)
+        if linked is None or linked != self._version:
+            return False
+        self._version += 1
+        self._value = value
+        self._record("sc", value)
+        return True

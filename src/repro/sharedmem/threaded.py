@@ -1,0 +1,119 @@
+"""Thread-safe shared-memory primitives for real-concurrency testing.
+
+The simulator linearizes operations by construction; these classes instead
+protect each primitive with a lock so they are linearizable under genuine
+Python threads.  They exist to validate the sequential semantics of the
+primitives under real interleavings (the test suite hammers them from many
+threads), not to benchmark shared-memory performance -- the GIL makes such
+wall-clock numbers meaningless, which is why the experiments measure
+operation counts in virtual time instead (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+
+class ThreadSafeRegister:
+    """A lock-protected atomic register usable from multiple threads."""
+
+    def __init__(self, initial: Any = None) -> None:
+        self._lock = threading.Lock()
+        self._value = initial
+        self.reads = 0
+        self.writes = 0
+
+    def read(self) -> Any:
+        with self._lock:
+            self.reads += 1
+            return self._value
+
+    def write(self, value: Any) -> None:
+        with self._lock:
+            self.writes += 1
+            self._value = value
+
+
+class ThreadSafeCAS(ThreadSafeRegister):
+    """A lock-protected compare&swap register."""
+
+    def compare_and_swap(self, expected: Any, new: Any) -> bool:
+        with self._lock:
+            if self._value == expected:
+                self._value = new
+                return True
+            return False
+
+
+class ThreadSafeFetchAndAdd(ThreadSafeRegister):
+    """A lock-protected fetch&add register."""
+
+    def __init__(self, initial: int = 0) -> None:
+        super().__init__(initial)
+
+    def fetch_and_add(self, delta: int = 1) -> int:
+        with self._lock:
+            previous = self._value
+            self._value = previous + delta
+            return previous
+
+
+class _UnsetT:
+    def __repr__(self) -> str:
+        return "UNSET"
+
+
+_UNSET = _UnsetT()
+
+
+class ThreadedConsensusObject:
+    """Single-shot consensus for real threads, built on :class:`ThreadSafeCAS`.
+
+    Exactly the CAS-consensus construction used in the simulator, so the
+    thread-based tests double as a check of that construction's correctness
+    under uncontrolled OS-level interleavings.
+    """
+
+    def __init__(self) -> None:
+        self._register = ThreadSafeCAS(_UNSET)
+        self._invocations_lock = threading.Lock()
+        self.invocations = 0
+
+    def propose(self, value: Any) -> Any:
+        with self._invocations_lock:
+            self.invocations += 1
+        self._register.compare_and_swap(_UNSET, value)
+        decided = self._register.read()
+        return decided
+
+    @property
+    def decided(self) -> Any:
+        value = self._register.read()
+        return None if value is _UNSET else value
+
+
+def run_threaded_consensus(proposals: Dict[int, Any]) -> Dict[int, Any]:
+    """Run one threaded consensus instance with the given per-thread proposals.
+
+    Returns the value each participant decided.  Used by tests to assert
+    agreement and validity under real thread scheduling.
+    """
+    obj = ThreadedConsensusObject()
+    decisions: Dict[int, Any] = {}
+    lock = threading.Lock()
+
+    def worker(pid: int, value: Any) -> None:
+        decided = obj.propose(value)
+        with lock:
+            decisions[pid] = decided
+
+    threads = [
+        threading.Thread(target=worker, args=(pid, value), name=f"proposer-{pid}")
+        for pid, value in proposals.items()
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return decisions

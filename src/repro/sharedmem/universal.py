@@ -1,0 +1,108 @@
+"""A universal construction on top of cluster consensus objects.
+
+Herlihy's universality theorem says that consensus objects (together with
+registers) allow any sequential object to be implemented wait-free.  The
+paper leans on this implicitly: "consensus can be solved by a deterministic
+algorithm within each cluster", hence each cluster can expose arbitrarily
+powerful agreement abstractions.  This module makes the point concrete: a
+:class:`UniversalObject` turns a sequential state machine into a linearizable
+cluster-shared object by agreeing, slot after slot, on the next operation to
+apply -- the standard consensus-based state-machine-replication construction.
+
+It is not needed by the consensus algorithms themselves, but it is exercised
+by tests and by the ``cluster_state_machine`` example to show what the
+intra-cluster substrate can do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .memory import ClusterSharedMemory
+
+
+@dataclass(frozen=True)
+class AppliedOperation:
+    """One operation agreed at one slot of the universal object's log."""
+
+    slot: int
+    invoker: int
+    operation: str
+    argument: Any
+    result: Any
+
+
+class UniversalObject:
+    """A linearizable object built from per-slot consensus.
+
+    ``transition(state, operation, argument) -> (new_state, result)`` defines
+    the sequential behaviour.  Each invocation proposes itself for successive
+    log slots until one slot decides it; every process applies the decided
+    operations in slot order, so all members observe the same linearization.
+    """
+
+    def __init__(
+        self,
+        memory: ClusterSharedMemory,
+        name: str,
+        initial_state: Any,
+        transition: Callable[[Any, str, Any], Tuple[Any, Any]],
+    ) -> None:
+        self.memory = memory
+        self.name = name
+        self.initial_state = initial_state
+        self.transition = transition
+        self._applied: Dict[int, List[AppliedOperation]] = {pid: [] for pid in memory.members}
+        self._state: Dict[int, Any] = {pid: initial_state for pid in memory.members}
+        self._next_slot: Dict[int, int] = {pid: 0 for pid in memory.members}
+
+    def invoke(self, ctx, operation: str, argument: Any = None):
+        """Invoke ``operation(argument)``; returns its result (generator).
+
+        The invocation is wait-free for the invoking process: it needs at
+        most one consensus slot per concurrent competing invocation before
+        its own proposal wins a slot.
+        """
+        self.memory.assert_member(ctx.pid)
+        proposal = (ctx.pid, operation, argument, ctx.now())
+        while True:
+            slot = self._next_slot[ctx.pid]
+            cons = self.memory.consensus_object("universal", self.name, slot)
+            decided = yield from cons.propose(ctx, proposal)
+            invoker, op_name, op_arg, _stamp = decided
+            state, result = self.transition(self._state[ctx.pid], op_name, op_arg)
+            self._state[ctx.pid] = state
+            record = AppliedOperation(slot=slot, invoker=invoker, operation=op_name, argument=op_arg, result=result)
+            self._applied[ctx.pid].append(record)
+            self._next_slot[ctx.pid] = slot + 1
+            if decided == proposal:
+                return result
+
+    def local_state(self, pid: int) -> Any:
+        """The state as currently observed by ``pid``."""
+        return self._state[pid]
+
+    def log_of(self, pid: int) -> List[AppliedOperation]:
+        """The prefix of the shared log applied so far by ``pid``."""
+        return list(self._applied[pid])
+
+
+def counter_transition(state: int, operation: str, argument: Any) -> Tuple[int, Any]:
+    """Sequential specification of a counter (used by tests and examples)."""
+    if operation == "increment":
+        amount = 1 if argument is None else int(argument)
+        return state + amount, state + amount
+    if operation == "read":
+        return state, state
+    raise ValueError(f"unknown counter operation {operation!r}")
+
+
+def append_log_transition(state: Tuple[Any, ...], operation: str, argument: Any) -> Tuple[Tuple[Any, ...], Any]:
+    """Sequential specification of an append-only log."""
+    if operation == "append":
+        new_state = state + (argument,)
+        return new_state, len(new_state) - 1
+    if operation == "read":
+        return state, state
+    raise ValueError(f"unknown log operation {operation!r}")

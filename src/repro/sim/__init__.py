@@ -1,0 +1,47 @@
+"""Discrete-event simulation substrate.
+
+This package provides the asynchronous execution environment in which the
+consensus algorithms of the paper run: a seeded event-driven kernel
+(:class:`~repro.sim.kernel.SimulationKernel`), generator-based processes,
+crash injection and execution tracing.
+"""
+
+from .context import (
+    Effect,
+    LocalEffect,
+    ProcessContext,
+    ProcessStats,
+    RoundLimitExceeded,
+    SendEffect,
+    SharedMemEffect,
+    WaitEffect,
+)
+from .events import MessageDelivery, ProcessCrash, ProcessStart, ScheduledEvent, StepResume
+from .kernel import RunStatus, SimConfig, SimulationKernel, SimulationResult
+from .process import ProcessState, SimProcess
+from .rng import RandomSource
+from .trace import Trace
+
+__all__ = [
+    "Effect",
+    "LocalEffect",
+    "MessageDelivery",
+    "ProcessCrash",
+    "ProcessContext",
+    "ProcessStart",
+    "ProcessState",
+    "ProcessStats",
+    "RandomSource",
+    "RoundLimitExceeded",
+    "RunStatus",
+    "ScheduledEvent",
+    "SendEffect",
+    "SharedMemEffect",
+    "SimConfig",
+    "SimProcess",
+    "SimulationKernel",
+    "SimulationResult",
+    "StepResume",
+    "Trace",
+    "WaitEffect",
+]

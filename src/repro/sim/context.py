@@ -1,0 +1,176 @@
+"""The API that algorithm code uses to interact with the simulated world.
+
+Algorithms are written as Python generators.  Every interaction with the
+environment -- sending a message, waiting for messages, executing a
+shared-memory primitive -- is expressed by ``yield``-ing an *effect* object
+through one of the :class:`ProcessContext` helper generators, e.g.::
+
+    value = yield from ctx.sm_op(register.compare_and_swap, expected, new)
+    yield from ctx.broadcast(payload)
+    result = yield from ctx.wait_until(predicate)
+
+The kernel interprets each effect as one atomic step of the process, charges
+the appropriate virtual-time cost, and resumes the generator with the step's
+result.  This mirrors the paper's model of sequential processes executing
+atomic steps interleaved by an asynchronous adversary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+
+class Effect:
+    """Base class of all effects yielded by algorithm generators."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SendEffect(Effect):
+    """Send ``payload`` to process ``dest`` over the asynchronous network."""
+
+    dest: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class WaitEffect(Effect):
+    """Block until ``predicate(mailbox)`` returns a non-``None`` value.
+
+    The predicate receives the process's full mailbox (a list of
+    :class:`~repro.network.message.Message` objects, oldest first) and must
+    return ``None`` while unsatisfied.  Its first non-``None`` return value
+    becomes the result of the wait.
+    """
+
+    predicate: Callable[[Sequence[Any]], Any]
+
+
+@dataclass(frozen=True)
+class SharedMemEffect(Effect):
+    """Execute one linearizable shared-memory primitive atomically."""
+
+    operation: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class LocalEffect(Effect):
+    """A local computation step with no environment interaction."""
+
+    duration: Optional[float] = None
+
+
+class RoundLimitExceeded(Exception):
+    """Raised by :meth:`ProcessContext.mark_round` past the configured cap.
+
+    Randomized consensus terminates with probability 1 but any individual
+    execution may be arbitrarily long; the cap turns "still flipping coins"
+    into an explicit, detectable non-termination outcome (used by the
+    indulgence experiments).
+    """
+
+    def __init__(self, pid: int, round_number: int, limit: int) -> None:
+        super().__init__(
+            f"process {pid} entered round {round_number}, exceeding the cap of {limit}"
+        )
+        self.pid = pid
+        self.round_number = round_number
+        self.limit = limit
+
+
+@dataclass
+class ProcessStats:
+    """Per-process counters maintained by the kernel."""
+
+    steps: int = 0
+    messages_sent: int = 0
+    sm_ops: int = 0
+    waits: int = 0
+    rounds: int = 0
+    coin_flips: int = 0
+
+
+class ProcessContext:
+    """Handle given to each simulated process.
+
+    The context exposes the process identity, virtual time, per-process
+    random stream, and the effect helpers.  Algorithms should interact with
+    the world exclusively through this object (plus the shared-memory and
+    coin objects handed to them by the harness, whose primitive operations
+    are always routed back through :meth:`sm_op`).
+    """
+
+    def __init__(self, pid: int, kernel: "SimulationKernel") -> None:  # noqa: F821
+        self.pid = pid
+        self._kernel = kernel
+        self.stats = ProcessStats()
+
+    # ------------------------------------------------------------------ time
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._kernel.now
+
+    def random(self):
+        """The process-local random stream (used for local coins)."""
+        return self._kernel.rng.stream("process", self.pid)
+
+    # --------------------------------------------------------------- effects
+    def send(self, dest: int, payload: Any):
+        """Send ``payload`` to ``dest``; completes after one local step."""
+        self.stats.messages_sent += 1
+        yield SendEffect(dest=dest, payload=payload)
+
+    def broadcast(self, payload: Any, include_self: bool = True):
+        """The paper's ``broadcast`` macro: send to every process in turn.
+
+        The macro is intentionally *not* atomic: it expands to one send per
+        destination, so a crash occurring part-way through delivers the
+        message to an arbitrary prefix of the destinations only -- exactly
+        the unreliable broadcast of Section II-A.
+        """
+        for dest in self._kernel.process_ids():
+            if not include_self and dest == self.pid:
+                continue
+            yield from self.send(dest, payload)
+
+    def wait_until(self, predicate: Callable[[Sequence[Any]], Any]):
+        """Block until ``predicate(mailbox)`` is non-``None``; return it."""
+        self.stats.waits += 1
+        result = yield WaitEffect(predicate=predicate)
+        return result
+
+    def sm_op(self, operation: Callable[..., Any], *args: Any):
+        """Execute one shared-memory primitive as an atomic step."""
+        self.stats.sm_ops += 1
+        result = yield SharedMemEffect(operation=operation, args=args)
+        return result
+
+    def local_step(self, duration: Optional[float] = None):
+        """Spend one local computation step (optionally of a given length)."""
+        yield LocalEffect(duration=duration)
+
+    # ------------------------------------------------------------ accounting
+    def mark_round(self, round_number: int) -> None:
+        """Record that the process entered ``round_number``.
+
+        Raises :class:`RoundLimitExceeded` when the simulation configuration
+        bounds the number of rounds and the bound is exceeded.
+        """
+        self.stats.rounds = max(self.stats.rounds, round_number)
+        limit = self._kernel.config.max_rounds
+        if limit is not None and round_number > limit:
+            raise RoundLimitExceeded(self.pid, round_number, limit)
+
+    def count_coin_flip(self) -> None:
+        """Record one coin invocation (local or common) by this process."""
+        self.stats.coin_flips += 1
+
+    def log(self, message: str) -> None:
+        """Record a free-form annotation in the simulation trace."""
+        self._kernel.trace.annotate(self.pid, message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ProcessContext(pid={self.pid}, t={self.now():.4f})"

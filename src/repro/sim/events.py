@@ -1,0 +1,89 @@
+"""Event types used by the discrete-event simulation kernel.
+
+The kernel maintains a single priority queue of :class:`ScheduledEvent`
+entries ordered by ``(time, sequence)``.  The sequence number breaks ties
+deterministically, so executions are reproducible even when several events
+share a virtual timestamp.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Event:
+    """Base class for all kernel events."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class StepResume(Event):
+    """Resume a process generator, sending ``value`` into it."""
+
+    pid: int
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class MessageDelivery(Event):
+    """Deliver a message object into a process mailbox."""
+
+    pid: int
+    message: Any = None
+
+
+@dataclass(frozen=True)
+class ProcessCrash(Event):
+    """Crash a process: it takes no further step after this event."""
+
+    pid: int
+
+
+@dataclass(frozen=True)
+class ProcessStart(Event):
+    """Initial activation of a process generator."""
+
+    pid: int
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A queue entry: an :class:`Event` scheduled at a virtual ``time``."""
+
+    time: float
+    sequence: int
+    event: Event = field(compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ScheduledEvent(t={self.time:.6f}, seq={self.sequence}, {self.event!r})"
+
+
+def describe(event: Event) -> str:
+    """Return a short human-readable description of an event (for traces)."""
+    name = type(event).__name__
+    fields = dataclasses.fields(event) if dataclasses.is_dataclass(event) else ()
+    parts = []
+    for f in fields:
+        value = getattr(event, f.name)
+        if f.name == "message":
+            value = getattr(value, "payload", value)
+        parts.append(f"{f.name}={value!r}")
+    return f"{name}({', '.join(parts)})"
+
+
+@dataclass
+class TraceEntry:
+    """One recorded entry of a simulation trace."""
+
+    time: float
+    sequence: int
+    kind: str
+    pid: Optional[int]
+    detail: str
+
+    def format(self) -> str:
+        pid = "-" if self.pid is None else str(self.pid)
+        return f"[{self.time:12.6f}] #{self.sequence:<8d} p{pid:<4s} {self.kind:<12s} {self.detail}"

@@ -1,0 +1,359 @@
+"""The discrete-event simulation kernel.
+
+The kernel owns the virtual clock, the event queue, the simulated processes
+and the links to the message-passing and shared-memory substrates.  It is an
+*asynchronous adversary*: the interleaving of process steps and the delivery
+order of messages are controlled entirely by the (seeded) event schedule, so
+the algorithms can assume nothing beyond what the paper's model grants them.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from .context import (
+    LocalEffect,
+    ProcessContext,
+    ProcessStats,
+    RoundLimitExceeded,
+    SendEffect,
+    SharedMemEffect,
+    WaitEffect,
+)
+from .events import (
+    Event,
+    MessageDelivery,
+    ProcessCrash,
+    ProcessStart,
+    ScheduledEvent,
+    StepResume,
+    describe,
+)
+from .process import ProcessState, SimProcess
+from .rng import RandomSource
+from .trace import Trace
+
+
+class RunStatus(enum.Enum):
+    """Outcome of a simulation run."""
+
+    DECIDED = "decided"
+    DEADLOCK = "deadlock"
+    TIMEOUT = "timeout"
+    ROUND_LIMIT = "round-limit"
+
+    @property
+    def terminated(self) -> bool:
+        """True when every correct process decided."""
+        return self is RunStatus.DECIDED
+
+
+@dataclass
+class SimConfig:
+    """Tunable parameters of the simulated execution environment.
+
+    The delay constants are in arbitrary virtual-time units.  Their default
+    ratio (shared-memory operation one order of magnitude cheaper than a
+    typical message delay, local steps cheaper still) encodes the paper's
+    efficiency premise: intra-cluster agreement is cheap, inter-cluster
+    message exchange is expensive.
+    """
+
+    max_time: float = 1e9
+    max_rounds: Optional[int] = 500
+    local_step_delay: float = 1e-4
+    sm_op_delay: float = 1e-3
+    scheduling_jitter: float = 1e-5
+    trace: bool = False
+    trace_max_entries: int = 100_000
+
+
+@dataclass
+class SimulationResult:
+    """Everything the harness needs to know about a finished run."""
+
+    status: RunStatus
+    decisions: Dict[int, Any]
+    decision_times: Dict[int, float]
+    correct: Set[int]
+    crashed: Set[int]
+    non_terminated: Set[int]
+    rounds: Dict[int, int]
+    end_time: float
+    events_processed: int
+    process_stats: Dict[int, ProcessStats]
+
+    @property
+    def decided_values(self) -> Set[Any]:
+        """The set of distinct values decided by any process."""
+        return {value for value in self.decisions.values()}
+
+    @property
+    def max_round(self) -> int:
+        """Largest round reached by any process (0 if none recorded)."""
+        return max(self.rounds.values(), default=0)
+
+    def decision_of_correct(self) -> Optional[Any]:
+        """The unique value decided by correct processes, if any decided."""
+        values = {self.decisions[pid] for pid in self.correct if pid in self.decisions}
+        if not values:
+            return None
+        if len(values) > 1:
+            raise ValueError(f"agreement violated: correct processes decided {values}")
+        return next(iter(values))
+
+
+class SimulationKernel:
+    """Seeded discrete-event simulator for hybrid-model executions."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        config: Optional[SimConfig] = None,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        self.config = config or SimConfig()
+        self.rng = rng if rng is not None else RandomSource(seed)
+        self.now: float = 0.0
+        self.trace = Trace(enabled=self.config.trace, max_entries=self.config.trace_max_entries)
+        self._queue: List[ScheduledEvent] = []
+        self._sequence = 0
+        self._processes: Dict[int, SimProcess] = {}
+        self._network = None
+        self.events_processed = 0
+        self.dropped_deliveries = 0
+        self._sched_rng = self.rng.stream("kernel", "jitter")
+
+    # ----------------------------------------------------------------- setup
+    def attach_network(self, network) -> None:
+        """Attach the message-passing substrate used to time deliveries."""
+        self._network = network
+
+    @property
+    def network(self):
+        return self._network
+
+    def add_process(self, pid: int, factory: Callable[[ProcessContext], Any]) -> SimProcess:
+        """Register a process whose behaviour is ``factory(ctx)`` (a generator)."""
+        if pid in self._processes:
+            raise ValueError(f"duplicate process id {pid}")
+        context = ProcessContext(pid, self)
+        proc = SimProcess(pid=pid, context=context, factory=factory)
+        self._processes[pid] = proc
+        self._schedule(0.0, ProcessStart(pid=pid))
+        return proc
+
+    def schedule_crash(self, pid: int, time: float) -> None:
+        """Schedule process ``pid`` to crash at virtual ``time``."""
+        if pid not in self._processes:
+            raise KeyError(f"unknown process id {pid}")
+        if time < 0:
+            raise ValueError("crash time must be non-negative")
+        self._schedule(time, ProcessCrash(pid=pid))
+
+    def process_ids(self) -> List[int]:
+        """All registered process ids, in ascending order."""
+        return sorted(self._processes)
+
+    def process(self, pid: int) -> SimProcess:
+        return self._processes[pid]
+
+    @property
+    def processes(self) -> Dict[int, SimProcess]:
+        return dict(self._processes)
+
+    # ------------------------------------------------------------- scheduling
+    def _schedule(self, time: float, event: Event) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, ScheduledEvent(time=time, sequence=self._sequence, event=event))
+
+    def _jitter(self) -> float:
+        if self.config.scheduling_jitter <= 0:
+            return 0.0
+        return self._sched_rng.random() * self.config.scheduling_jitter
+
+    def _resume_later(self, pid: int, value: Any, delay: float) -> None:
+        self._schedule(self.now + delay + self._jitter(), StepResume(pid=pid, value=value))
+
+    # -------------------------------------------------------------- main loop
+    def run(self) -> SimulationResult:
+        """Process events until completion, quiescence or the time bound."""
+        if not self._processes:
+            raise RuntimeError("no processes registered")
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.time > self.config.max_time:
+                self.now = self.config.max_time
+                return self._result(RunStatus.TIMEOUT)
+            self.now = max(self.now, entry.time)
+            self.events_processed += 1
+            self.trace.record(self.now, "event", self._event_pid(entry.event), describe(entry.event))
+            self._dispatch(entry.event)
+            if self._all_settled():
+                break
+        return self._result(self._final_status())
+
+    @staticmethod
+    def _event_pid(event: Event) -> Optional[int]:
+        return getattr(event, "pid", None)
+
+    def _dispatch(self, event: Event) -> None:
+        if isinstance(event, ProcessStart):
+            self._handle_start(event)
+        elif isinstance(event, StepResume):
+            self._handle_resume(event)
+        elif isinstance(event, MessageDelivery):
+            self._handle_delivery(event)
+        elif isinstance(event, ProcessCrash):
+            self._handle_crash(event)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown event type: {event!r}")
+
+    # ---------------------------------------------------------- event handlers
+    def _handle_start(self, event: ProcessStart) -> None:
+        proc = self._processes[event.pid]
+        if proc.state is ProcessState.CRASHED:
+            return
+        proc.start()
+        self._advance(proc, None)
+
+    def _handle_resume(self, event: StepResume) -> None:
+        proc = self._processes[event.pid]
+        if proc.state.is_terminal():
+            return
+        self._advance(proc, event.value)
+
+    def _handle_delivery(self, event: MessageDelivery) -> None:
+        proc = self._processes[event.pid]
+        if proc.state is ProcessState.CRASHED:
+            self.dropped_deliveries += 1
+            return
+        proc.deliver(event.message)
+        if self._network is not None:
+            self._network.record_delivery(event.message)
+        if proc.state is ProcessState.BLOCKED:
+            result = proc.check_wait()
+            if result is not None:
+                proc.wait_predicate = None
+                proc.state = ProcessState.READY
+                self._resume_later(proc.pid, result, self.config.local_step_delay)
+
+    def _handle_crash(self, event: ProcessCrash) -> None:
+        proc = self._processes[event.pid]
+        if proc.state.is_terminal():
+            # Crashing an already decided/halted process has no further effect,
+            # but the process still counts as crashed for fault accounting.
+            if proc.state is not ProcessState.DECIDED:
+                proc.state = ProcessState.CRASHED
+                proc.crash_time = self.now
+            return
+        proc.state = ProcessState.CRASHED
+        proc.crash_time = self.now
+        proc.wait_predicate = None
+
+    # ----------------------------------------------------------- process steps
+    def _advance(self, proc: SimProcess, value: Any) -> None:
+        proc.context.stats.steps += 1
+        try:
+            effect = proc.generator.send(value)
+        except StopIteration as stop:
+            proc.decision = stop.value
+            proc.decision_time = self.now
+            proc.state = ProcessState.DECIDED if stop.value is not None else ProcessState.HALTED
+            if stop.value is None:
+                proc.halt_reason = "returned None"
+            self.trace.record(self.now, "decide", proc.pid, repr(stop.value))
+            return
+        except RoundLimitExceeded as exceeded:
+            proc.state = ProcessState.HALTED
+            proc.halt_reason = str(exceeded)
+            self.trace.record(self.now, "halt", proc.pid, proc.halt_reason)
+            return
+        self._handle_effect(proc, effect)
+
+    def _handle_effect(self, proc: SimProcess, effect: Any) -> None:
+        if isinstance(effect, SendEffect):
+            self._do_send(proc, effect)
+        elif isinstance(effect, SharedMemEffect):
+            self._do_sm_op(proc, effect)
+        elif isinstance(effect, WaitEffect):
+            self._do_wait(proc, effect)
+        elif isinstance(effect, LocalEffect):
+            delay = effect.duration if effect.duration is not None else self.config.local_step_delay
+            self._resume_later(proc.pid, None, delay)
+        else:
+            raise TypeError(
+                f"process {proc.pid} yielded {effect!r}, which is not a recognised effect"
+            )
+
+    def _do_send(self, proc: SimProcess, effect: SendEffect) -> None:
+        if self._network is None:
+            raise RuntimeError("no network attached; cannot handle SendEffect")
+        message = self._network.prepare(sender=proc.pid, dest=effect.dest, payload=effect.payload, time=self.now)
+        delay = self._network.sample_delay(sender=proc.pid, dest=effect.dest)
+        self.trace.record(self.now, "send", proc.pid, f"to={effect.dest} {effect.payload!r}")
+        self._schedule(self.now + delay, MessageDelivery(pid=effect.dest, message=message))
+        self._resume_later(proc.pid, None, self.config.local_step_delay)
+
+    def _do_sm_op(self, proc: SimProcess, effect: SharedMemEffect) -> None:
+        result = effect.operation(*effect.args)
+        self.trace.record(
+            self.now,
+            "sm-op",
+            proc.pid,
+            f"{getattr(effect.operation, '__qualname__', effect.operation)!s}{effect.args!r} -> {result!r}",
+        )
+        self._resume_later(proc.pid, result, self.config.sm_op_delay)
+
+    def _do_wait(self, proc: SimProcess, effect: WaitEffect) -> None:
+        result = effect.predicate(proc.mailbox)
+        if result is not None:
+            self._resume_later(proc.pid, result, self.config.local_step_delay)
+            return
+        proc.state = ProcessState.BLOCKED
+        proc.wait_predicate = effect.predicate
+        self.trace.record(self.now, "block", proc.pid, "waiting on messages")
+
+    # ------------------------------------------------------------------ ending
+    def _all_settled(self) -> bool:
+        return all(proc.state.is_terminal() for proc in self._processes.values())
+
+    def _final_status(self) -> RunStatus:
+        correct = [proc for proc in self._processes.values() if proc.is_correct]
+        if correct and all(proc.has_decided for proc in correct):
+            return RunStatus.DECIDED
+        if any(proc.state is ProcessState.HALTED and "round" in (proc.halt_reason or "") for proc in correct):
+            return RunStatus.ROUND_LIMIT
+        return RunStatus.DEADLOCK
+
+    def _result(self, status: RunStatus) -> SimulationResult:
+        decisions = {
+            pid: proc.decision
+            for pid, proc in self._processes.items()
+            if proc.has_decided
+        }
+        decision_times = {
+            pid: proc.decision_time
+            for pid, proc in self._processes.items()
+            if proc.has_decided and proc.decision_time is not None
+        }
+        correct = {pid for pid, proc in self._processes.items() if proc.is_correct}
+        crashed = {pid for pid, proc in self._processes.items() if not proc.is_correct}
+        non_terminated = {pid for pid in correct if pid not in decisions}
+        rounds = {pid: proc.context.stats.rounds for pid, proc in self._processes.items()}
+        stats = {pid: proc.context.stats for pid, proc in self._processes.items()}
+        return SimulationResult(
+            status=status,
+            decisions=decisions,
+            decision_times=decision_times,
+            correct=correct,
+            crashed=crashed,
+            non_terminated=non_terminated,
+            rounds=rounds,
+            end_time=self.now,
+            events_processed=self.events_processed,
+            process_stats=stats,
+        )

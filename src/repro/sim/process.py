@@ -1,0 +1,81 @@
+"""Simulated process bookkeeping."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from .context import ProcessContext
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    READY = "ready"
+    BLOCKED = "blocked"
+    CRASHED = "crashed"
+    DECIDED = "decided"
+    HALTED = "halted"
+
+    def is_terminal(self) -> bool:
+        return self in (ProcessState.CRASHED, ProcessState.DECIDED, ProcessState.HALTED)
+
+
+@dataclass
+class SimProcess:
+    """Kernel-side record of one simulated process.
+
+    The algorithm itself lives in ``generator`` (created by calling the
+    algorithm factory with the process context); the kernel drives it by
+    sending step results into it and interpreting the effects it yields.
+    """
+
+    pid: int
+    context: ProcessContext
+    factory: Callable[[ProcessContext], Any]
+    generator: Any = None
+    state: ProcessState = ProcessState.READY
+    mailbox: List[Any] = field(default_factory=list)
+    wait_predicate: Optional[Callable[[List[Any]], Any]] = None
+    decision: Any = None
+    decision_time: Optional[float] = None
+    crash_time: Optional[float] = None
+    halt_reason: Optional[str] = None
+    started: bool = False
+
+    def start(self) -> None:
+        """Instantiate the algorithm generator (first activation)."""
+        if self.started:
+            raise RuntimeError(f"process {self.pid} already started")
+        self.generator = self.factory(self.context)
+        self.started = True
+
+    @property
+    def is_correct(self) -> bool:
+        """A process is *correct* in a run iff it never crashes."""
+        return self.state is not ProcessState.CRASHED
+
+    @property
+    def has_decided(self) -> bool:
+        return self.state is ProcessState.DECIDED
+
+    def deliver(self, message: Any) -> None:
+        """Append a message to the mailbox (messages are never removed)."""
+        self.mailbox.append(message)
+
+    def check_wait(self) -> Any:
+        """Evaluate the pending wait predicate against the mailbox.
+
+        Returns the predicate result (non-``None`` when satisfied) or
+        ``None`` when unsatisfied or when the process is not blocked.
+        """
+        if self.state is not ProcessState.BLOCKED or self.wait_predicate is None:
+            return None
+        return self.wait_predicate(self.mailbox)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"SimProcess(pid={self.pid}, state={self.state.value}, "
+            f"decision={self.decision!r}, mailbox={len(self.mailbox)})"
+        )

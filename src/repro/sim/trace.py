@@ -1,0 +1,59 @@
+"""Execution-trace recording.
+
+Traces are optional (they cost memory in long sweeps) and are mainly used
+for debugging algorithms and for the example scripts, which print excerpts
+so that a reader can follow a consensus execution step by step.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .events import TraceEntry
+
+
+class Trace:
+    """A bounded, append-only record of simulation activity."""
+
+    def __init__(self, enabled: bool = False, max_entries: int = 100_000) -> None:
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self.entries: List[TraceEntry] = []
+        self._sequence = 0
+        self.dropped = 0
+
+    def record(self, time: float, kind: str, pid: Optional[int], detail: str) -> None:
+        """Append an entry if tracing is enabled and the bound is not hit."""
+        if not self.enabled:
+            return
+        self._sequence += 1
+        if len(self.entries) >= self.max_entries:
+            self.dropped += 1
+            return
+        self.entries.append(
+            TraceEntry(time=time, sequence=self._sequence, kind=kind, pid=pid, detail=detail)
+        )
+
+    def annotate(self, pid: Optional[int], message: str) -> None:
+        """Record a free-form annotation originating from algorithm code."""
+        self.record(time=-1.0, kind="note", pid=pid, detail=message)
+
+    def for_process(self, pid: int) -> List[TraceEntry]:
+        """All entries attributed to process ``pid``."""
+        return [entry for entry in self.entries if entry.pid == pid]
+
+    def of_kind(self, kind: str) -> List[TraceEntry]:
+        """All entries of a given kind (``step``, ``send``, ``deliver``...)."""
+        return [entry for entry in self.entries if entry.kind == kind]
+
+    def format(self, entries: Optional[Iterable[TraceEntry]] = None) -> str:
+        """Render entries as aligned text lines."""
+        chosen = self.entries if entries is None else list(entries)
+        return "\n".join(entry.format() for entry in chosen)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        status = "on" if self.enabled else "off"
+        return f"Trace({status}, entries={len(self.entries)}, dropped={self.dropped})"

@@ -1,0 +1,83 @@
+"""Shared test helpers.
+
+``SyncContext`` mimics the :class:`repro.sim.context.ProcessContext` API but
+executes every effect synchronously and immediately, which lets unit tests
+drive algorithm-level generators (consensus-object ``propose``, the universal
+construction, ...) without standing up a simulation kernel.  ``drive`` runs
+such a generator to completion and returns its value.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.network.message import Message
+
+
+class SyncContext:
+    """A ProcessContext stand-in whose effect helpers never suspend."""
+
+    def __init__(self, pid: int = 0, now: float = 0.0, mailbox: Optional[List[Message]] = None) -> None:
+        self.pid = pid
+        self._now = now
+        self.mailbox: List[Message] = mailbox if mailbox is not None else []
+        self.sent: List[Message] = []
+        self.rounds = 0
+        self.coin_flips = 0
+        self.sm_ops = 0
+        self._rng = random.Random(pid)
+
+    # --- ProcessContext API ------------------------------------------------
+    def now(self) -> float:
+        return self._now
+
+    def random(self) -> random.Random:
+        return self._rng
+
+    def send(self, dest: int, payload: Any):
+        self.sent.append(Message(sender=self.pid, dest=dest, payload=payload, send_time=self._now))
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    def broadcast(self, payload: Any, include_self: bool = True):
+        yield from self.send(self.pid, payload)
+
+    def wait_until(self, predicate: Callable[[Sequence[Any]], Any]):
+        result = predicate(self.mailbox)
+        if result is None:
+            raise AssertionError("SyncContext.wait_until would block; give it a satisfying mailbox")
+        return result
+        yield  # pragma: no cover
+
+    def sm_op(self, operation: Callable[..., Any], *args: Any):
+        self.sm_ops += 1
+        return operation(*args)
+        yield  # pragma: no cover
+
+    def local_step(self, duration: Optional[float] = None):
+        return None
+        yield  # pragma: no cover
+
+    def mark_round(self, round_number: int) -> None:
+        self.rounds = max(self.rounds, round_number)
+
+    def count_coin_flip(self) -> None:
+        self.coin_flips += 1
+
+    def log(self, message: str) -> None:
+        pass
+
+
+def drive(generator) -> Any:
+    """Run a generator that never suspends; return its StopIteration value."""
+    try:
+        next(generator)
+    except StopIteration as stop:
+        return stop.value
+    raise AssertionError("generator suspended; use the simulation kernel for this test")
+
+
+def make_message(sender: int, payload: Any, dest: int = 0, time: float = 0.0, msg_id: int = 0) -> Message:
+    """Build a Message envelope for mailbox-level tests."""
+    return Message(sender=sender, dest=dest, payload=payload, send_time=time, msg_id=msg_id)

@@ -1,0 +1,156 @@
+"""Unit tests for cluster topologies (the paper's process partition)."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology, TopologyError
+
+
+def test_valid_partition_accepted():
+    topo = ClusterTopology([[0, 1, 2], [3, 4], [5, 6]])
+    assert topo.n == 7 and topo.m == 3
+    assert topo.cluster_sizes == (3, 2, 2)
+
+
+def test_empty_topology_rejected():
+    with pytest.raises(TopologyError):
+        ClusterTopology([])
+
+
+def test_empty_cluster_rejected():
+    with pytest.raises(TopologyError):
+        ClusterTopology([[0, 1], []])
+
+
+def test_overlapping_clusters_rejected():
+    with pytest.raises(TopologyError):
+        ClusterTopology([[0, 1], [1, 2]])
+
+
+def test_non_contiguous_ids_rejected():
+    with pytest.raises(TopologyError):
+        ClusterTopology([[0, 1], [3]])
+
+
+def test_cluster_of_and_index_of():
+    topo = ClusterTopology([[0, 1], [2, 3, 4]])
+    assert topo.cluster_index_of(3) == 1
+    assert topo.cluster_of(3) == frozenset({2, 3, 4})
+    assert topo.cluster_members(0) == frozenset({0, 1})
+    with pytest.raises(KeyError):
+        topo.cluster_index_of(99)
+
+
+def test_same_cluster_predicate():
+    topo = ClusterTopology([[0, 1], [2, 3]])
+    assert topo.same_cluster(0, 1)
+    assert not topo.same_cluster(1, 2)
+
+
+def test_majority_threshold_and_is_majority():
+    topo = ClusterTopology.even_split(7, 3)
+    assert topo.majority_threshold() == 4
+    assert topo.is_majority(4)
+    assert not topo.is_majority(3)
+    even = ClusterTopology.even_split(8, 2)
+    assert even.majority_threshold() == 5
+    assert not even.is_majority(4)
+
+
+def test_covers_majority():
+    topo = ClusterTopology([[0, 1, 2], [3, 4], [5, 6]])
+    assert topo.covers_majority([0, 1])
+    assert topo.covers_majority([1, 2])  # 2 + 2 = 4 > 7/2
+    assert not topo.covers_majority([1])
+    assert not topo.covers_majority([0])
+    assert topo.covers_majority([0, 1, 2])
+    # Duplicate indices are not double counted.
+    assert not topo.covers_majority([1, 1, 1])
+
+
+def test_majority_cluster_index():
+    assert ClusterTopology.figure1_right().majority_cluster_index() == 1
+    assert ClusterTopology.figure1_left().majority_cluster_index() is None
+
+
+def test_termination_condition_with_various_correct_sets():
+    topo = ClusterTopology.figure1_right()  # {0}, {1,2,3,4}, {5,6}
+    # One survivor inside the majority cluster is enough.
+    assert topo.termination_condition_holds({2})
+    # Survivors only outside the majority cluster do not cover a majority.
+    assert not topo.termination_condition_holds({0, 5, 6})
+    # Everybody correct trivially satisfies the condition.
+    assert topo.termination_condition_holds(set(range(7)))
+    # Nobody correct.
+    assert not topo.termination_condition_holds(set())
+
+
+def test_single_cluster_constructor():
+    topo = ClusterTopology.single_cluster(5)
+    assert topo.m == 1 and topo.n == 5
+    assert topo.majority_cluster_index() == 0
+    with pytest.raises(TopologyError):
+        ClusterTopology.single_cluster(0)
+
+
+def test_singleton_clusters_constructor():
+    topo = ClusterTopology.singleton_clusters(4)
+    assert topo.m == 4
+    assert all(len(c) == 1 for c in topo.clusters)
+    with pytest.raises(TopologyError):
+        ClusterTopology.singleton_clusters(0)
+
+
+def test_even_split_sizes_balanced():
+    topo = ClusterTopology.even_split(10, 3)
+    assert sorted(topo.cluster_sizes) == [3, 3, 4]
+    assert topo.n == 10 and topo.m == 3
+    with pytest.raises(TopologyError):
+        ClusterTopology.even_split(3, 5)
+    with pytest.raises(TopologyError):
+        ClusterTopology.even_split(3, 0)
+
+
+def test_with_majority_cluster_defaults_and_bounds():
+    topo = ClusterTopology.with_majority_cluster(9)
+    majority = topo.cluster_members(0)
+    assert len(majority) == 5
+    assert topo.majority_cluster_index() == 0
+    with pytest.raises(TopologyError):
+        ClusterTopology.with_majority_cluster(9, majority_size=4)
+    with pytest.raises(TopologyError):
+        ClusterTopology.with_majority_cluster(9, majority_size=10)
+
+
+def test_with_majority_cluster_other_split():
+    topo = ClusterTopology.with_majority_cluster(10, majority_size=6, others=2)
+    assert topo.m == 3
+    assert len(topo.cluster_members(0)) == 6
+    assert sum(topo.cluster_sizes) == 10
+
+
+def test_figure1_topologies_match_paper_structure():
+    left = ClusterTopology.figure1_left()
+    right = ClusterTopology.figure1_right()
+    assert left.n == right.n == 7
+    assert left.m == right.m == 3
+    assert right.cluster_members(1) == frozenset({1, 2, 3, 4})
+    assert not any(left.is_majority(size) for size in left.cluster_sizes)
+
+
+def test_equality_and_hash_ignore_cluster_order():
+    a = ClusterTopology([[0, 1], [2, 3]])
+    b = ClusterTopology([[2, 3], [0, 1]])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != ClusterTopology([[0, 1, 2], [3]])
+    assert (a == "not a topology") is False or True  # NotImplemented path
+
+
+def test_describe_mentions_sizes_and_members():
+    text = ClusterTopology.figure1_right().describe()
+    assert "n=7" in text and "m=3" in text and "{1,2,3,4}" in text
+
+
+def test_process_ids_range():
+    topo = ClusterTopology.even_split(6, 2)
+    assert list(topo.process_ids()) == list(range(6))

@@ -1,0 +1,122 @@
+"""Unit tests for the consensus property checkers."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.properties import (
+    ConsensusViolation,
+    check_agreement,
+    check_termination,
+    check_validity,
+    decisions_are_unanimous,
+    verify_run,
+)
+from repro.sim.kernel import RunStatus, SimulationResult
+
+
+def make_result(
+    decisions,
+    correct,
+    crashed=frozenset(),
+    status=RunStatus.DECIDED,
+    rounds=None,
+):
+    correct = set(correct)
+    crashed = set(crashed)
+    non_terminated = {pid for pid in correct if pid not in decisions}
+    return SimulationResult(
+        status=status,
+        decisions=dict(decisions),
+        decision_times={pid: 1.0 for pid in decisions},
+        correct=correct,
+        crashed=crashed,
+        non_terminated=non_terminated,
+        rounds=rounds or {pid: 1 for pid in correct | crashed},
+        end_time=1.0,
+        events_processed=10,
+        process_stats={},
+    )
+
+
+def test_check_agreement_detects_split_decisions():
+    assert check_agreement({0: 1, 1: 1}) is None
+    assert "agreement" in check_agreement({0: 1, 1: 0})
+    assert check_agreement({}) is None
+
+
+def test_check_validity_detects_invented_values():
+    proposals = {0: 0, 1: 0}
+    assert check_validity({0: 0}, proposals) is None
+    assert "validity" in check_validity({0: 1}, proposals)
+
+
+def test_check_termination_reports_non_deciders():
+    ok = make_result({0: 1, 1: 1}, correct={0, 1})
+    assert check_termination(ok) is None
+    bad = make_result({0: 1}, correct={0, 1}, status=RunStatus.DEADLOCK)
+    assert "termination" in check_termination(bad)
+
+
+def test_verify_run_all_good():
+    topo = ClusterTopology.even_split(2, 1)
+    result = make_result({0: 1, 1: 1}, correct={0, 1})
+    report = verify_run(result, proposals={0: 1, 1: 0}, topology=topo)
+    assert report.ok and report.safety_ok
+    assert report.termination_expected and report.termination
+    report.raise_on_violation()
+
+
+def test_verify_run_flags_agreement_violation():
+    topo = ClusterTopology.even_split(2, 1)
+    result = make_result({0: 1, 1: 0}, correct={0, 1})
+    report = verify_run(result, proposals={0: 1, 1: 0}, topology=topo)
+    assert not report.agreement and not report.ok
+    with pytest.raises(ConsensusViolation):
+        report.raise_on_violation()
+
+
+def test_verify_run_flags_validity_violation():
+    topo = ClusterTopology.even_split(2, 1)
+    result = make_result({0: 1, 1: 1}, correct={0, 1})
+    report = verify_run(result, proposals={0: 0, 1: 0}, topology=topo)
+    assert not report.validity and not report.ok
+
+
+def test_verify_run_termination_not_expected_when_condition_violated():
+    topo = ClusterTopology.even_split(4, 4)
+    # Three of four processes crashed: the remaining clusters cover 1 < n/2.
+    result = make_result({}, correct={0}, crashed={1, 2, 3}, status=RunStatus.DEADLOCK)
+    report = verify_run(result, proposals={pid: 0 for pid in range(4)}, topology=topo)
+    assert not report.termination_expected
+    assert report.ok  # safety holds, termination was not required
+    report.raise_on_violation()
+
+
+def test_verify_run_explicit_termination_expectation_overrides_topology():
+    topo = ClusterTopology.even_split(4, 4)
+    result = make_result({}, correct={0}, crashed={1, 2, 3}, status=RunStatus.DEADLOCK)
+    report = verify_run(
+        result, proposals={pid: 0 for pid in range(4)}, topology=topo, termination_expected=True
+    )
+    assert not report.ok
+
+
+def test_verify_run_without_topology_defaults_to_expecting_termination():
+    result = make_result({0: 1}, correct={0, 1}, status=RunStatus.DEADLOCK)
+    report = verify_run(result, proposals={0: 1, 1: 1})
+    assert report.termination_expected
+    assert not report.ok
+
+
+def test_decisions_are_unanimous():
+    assert decisions_are_unanimous(make_result({0: 1, 1: 1}, correct={0, 1}))
+    assert not decisions_are_unanimous(make_result({}, correct={0}))
+    assert not decisions_are_unanimous(make_result({0: 1, 1: 0}, correct={0, 1}))
+
+
+def test_crashed_process_decision_still_checked_for_agreement():
+    # A process may decide and then crash; its decision still counts.
+    topo = ClusterTopology.even_split(3, 1)
+    result = make_result({0: 1, 1: 0}, correct={1, 2}, crashed={0}, status=RunStatus.DEADLOCK)
+    report = verify_run(result, proposals={0: 1, 1: 0, 2: 0}, topology=topo)
+    assert not report.agreement

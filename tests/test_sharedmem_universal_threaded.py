@@ -1,0 +1,127 @@
+"""Tests for the universal construction and the thread-safe primitives."""
+
+import threading
+
+import pytest
+
+from tests.helpers import SyncContext, drive
+
+from repro.sharedmem.memory import ClusterSharedMemory
+from repro.sharedmem.threaded import (
+    ThreadSafeCAS,
+    ThreadSafeFetchAndAdd,
+    ThreadSafeRegister,
+    ThreadedConsensusObject,
+    run_threaded_consensus,
+)
+from repro.sharedmem.universal import (
+    UniversalObject,
+    append_log_transition,
+    counter_transition,
+)
+
+
+# --------------------------------------------------------------- universal object
+def make_counter(members=(0, 1, 2)):
+    memory = ClusterSharedMemory(0, members)
+    return UniversalObject(memory, "counter", initial_state=0, transition=counter_transition), memory
+
+
+def test_universal_counter_single_invoker():
+    counter, _ = make_counter()
+    ctx = SyncContext(pid=0)
+    assert drive(counter.invoke(ctx, "increment")) == 1
+    assert drive(counter.invoke(ctx, "increment", 4)) == 5
+    assert drive(counter.invoke(ctx, "read")) == 5
+    assert counter.local_state(0) == 5
+
+
+def test_universal_counter_all_members_converge_to_same_log():
+    counter, _ = make_counter()
+    contexts = {pid: SyncContext(pid=pid) for pid in (0, 1, 2)}
+    drive(counter.invoke(contexts[0], "increment"))
+    drive(counter.invoke(contexts[1], "increment"))
+    drive(counter.invoke(contexts[2], "increment"))
+    # Everyone catches up by reading.
+    for pid in (0, 1, 2):
+        drive(counter.invoke(contexts[pid], "read"))
+    states = {counter.local_state(pid) for pid in (0, 1, 2)}
+    assert states == {3}
+    logs = [tuple((entry.operation, entry.invoker) for entry in counter.log_of(pid)) for pid in (0, 1, 2)]
+    # Logs are prefixes of one another (the slowest reader saw the fewest slots).
+    longest = max(logs, key=len)
+    assert all(longest[: len(log)] == log for log in logs)
+
+
+def test_universal_object_membership_enforced():
+    counter, _ = make_counter(members=(0, 1))
+    with pytest.raises(Exception):
+        drive(counter.invoke(SyncContext(pid=9), "increment"))
+
+
+def test_universal_log_transition():
+    memory = ClusterSharedMemory(0, [0, 1])
+    log = UniversalObject(memory, "log", initial_state=(), transition=append_log_transition)
+    ctx0, ctx1 = SyncContext(pid=0), SyncContext(pid=1)
+    assert drive(log.invoke(ctx0, "append", "a")) == 0
+    assert drive(log.invoke(ctx1, "append", "b")) == 1
+    assert drive(log.invoke(ctx0, "read")) == ("a", "b")
+
+
+def test_counter_transition_rejects_unknown_operation():
+    with pytest.raises(ValueError):
+        counter_transition(0, "frobnicate", None)
+    with pytest.raises(ValueError):
+        append_log_transition((), "frobnicate", None)
+
+
+# ------------------------------------------------------------ thread-safe backend
+def test_thread_safe_register_basicops():
+    reg = ThreadSafeRegister(0)
+    reg.write(3)
+    assert reg.read() == 3
+    assert reg.reads == 1 and reg.writes == 1
+
+
+def test_thread_safe_cas_semantics():
+    reg = ThreadSafeCAS(None)
+    assert reg.compare_and_swap(None, "x")
+    assert not reg.compare_and_swap(None, "y")
+    assert reg.read() == "x"
+
+
+def test_thread_safe_fetch_and_add_under_threads():
+    reg = ThreadSafeFetchAndAdd(0)
+
+    def hammer():
+        for _ in range(500):
+            reg.fetch_and_add(1)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert reg.read() == 8 * 500
+
+
+def test_threaded_consensus_object_agreement_under_threads():
+    proposals = {pid: pid % 2 for pid in range(16)}
+    decisions = run_threaded_consensus(proposals)
+    assert set(decisions) == set(proposals)
+    decided_values = set(decisions.values())
+    assert len(decided_values) == 1
+    assert decided_values.pop() in set(proposals.values())
+
+
+def test_threaded_consensus_object_validity_unanimous():
+    decisions = run_threaded_consensus({pid: 1 for pid in range(8)})
+    assert set(decisions.values()) == {1}
+
+
+def test_threaded_consensus_decided_property():
+    obj = ThreadedConsensusObject()
+    assert obj.decided is None
+    obj.propose("v")
+    assert obj.decided == "v"
+    assert obj.invocations == 1

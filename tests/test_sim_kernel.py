@@ -1,0 +1,320 @@
+"""Unit tests of the discrete-event kernel: scheduling, effects, crashes."""
+
+import pytest
+
+from repro.network.delays import ConstantDelay
+from repro.network.transport import Network
+from repro.sim.context import RoundLimitExceeded
+from repro.sim.events import ScheduledEvent, StepResume, describe
+from repro.sim.kernel import RunStatus, SimConfig, SimulationKernel
+from repro.sim.process import ProcessState
+from repro.sim.rng import RandomSource
+from repro.sharedmem.register import AtomicRegister
+
+
+def make_kernel(n=2, seed=0, **config_kwargs):
+    kernel = SimulationKernel(seed=seed, config=SimConfig(**config_kwargs))
+    network = Network(n, delay_model=ConstantDelay(1.0), rng=RandomSource(seed))
+    kernel.attach_network(network)
+    return kernel, network
+
+
+def test_run_without_processes_raises():
+    kernel, _ = make_kernel()
+    with pytest.raises(RuntimeError):
+        kernel.run()
+
+
+def _idle(ctx):
+    yield from ctx.local_step()
+    return "idle"
+
+
+def test_duplicate_process_id_rejected():
+    kernel, _ = make_kernel()
+    kernel.add_process(0, _idle)
+    with pytest.raises(ValueError):
+        kernel.add_process(0, _idle)
+
+
+def test_single_process_returns_decision():
+    kernel, _ = make_kernel(n=1)
+
+    def behaviour(ctx):
+        yield from ctx.local_step()
+        return 42
+
+    kernel.add_process(0, behaviour)
+    result = kernel.run()
+    assert result.status is RunStatus.DECIDED
+    assert result.decisions == {0: 42}
+    assert result.decision_times[0] > 0
+
+
+def test_process_returning_none_is_halted_not_decided():
+    kernel, _ = make_kernel(n=1)
+
+    def behaviour(ctx):
+        yield from ctx.local_step()
+        return None
+
+    kernel.add_process(0, behaviour)
+    result = kernel.run()
+    assert result.status is not RunStatus.DECIDED
+    assert result.decisions == {}
+
+
+def test_message_send_and_wait_roundtrip():
+    kernel, network = make_kernel(n=2)
+    received = {}
+
+    def sender(ctx):
+        yield from ctx.send(1, "ping")
+        return "sent"
+
+    def receiver(ctx):
+        msgs = yield from ctx.wait_until(lambda mailbox: list(mailbox) or None)
+        received[ctx.pid] = [m.payload for m in msgs]
+        return "got"
+
+    kernel.add_process(0, sender)
+    kernel.add_process(1, receiver)
+    result = kernel.run()
+    assert result.status is RunStatus.DECIDED
+    assert received[1] == ["ping"]
+    assert network.stats.messages_sent == 1
+    assert network.stats.messages_delivered == 1
+
+
+def test_broadcast_reaches_every_process_including_self():
+    kernel, network = make_kernel(n=3)
+    seen = {}
+
+    def proc(ctx):
+        yield from ctx.broadcast(("hello", ctx.pid))
+        msgs = yield from ctx.wait_until(
+            lambda mailbox: mailbox if len(mailbox) >= 3 else None
+        )
+        seen[ctx.pid] = sorted(m.payload[1] for m in msgs)[:3]
+        return ctx.pid
+
+    for pid in range(3):
+        kernel.add_process(pid, proc)
+    result = kernel.run()
+    assert result.status is RunStatus.DECIDED
+    for pid in range(3):
+        assert seen[pid] == [0, 1, 2]
+    assert network.stats.messages_sent == 9
+
+
+def test_crashed_process_takes_no_steps_and_counts_as_faulty():
+    kernel, _ = make_kernel(n=2)
+    progress = []
+
+    def chatty(ctx):
+        while True:
+            progress.append(ctx.now())
+            yield from ctx.local_step(1.0)
+
+    def quiet(ctx):
+        yield from ctx.local_step(10.0)
+        return "done"
+
+    kernel.add_process(0, chatty)
+    kernel.add_process(1, quiet)
+    kernel.schedule_crash(0, 3.5)
+    result = kernel.run()
+    assert 0 in result.crashed
+    assert 1 in result.correct
+    assert result.decisions == {1: "done"}
+    # The chatty process stops making progress after its crash time.
+    assert all(t <= 3.5 for t in progress)
+
+
+def test_crash_of_unknown_process_rejected():
+    kernel, _ = make_kernel(n=1)
+    kernel.add_process(0, _idle)
+    with pytest.raises(KeyError):
+        kernel.schedule_crash(7, 1.0)
+    with pytest.raises(ValueError):
+        kernel.schedule_crash(0, -1.0)
+
+
+def test_messages_to_crashed_process_are_dropped():
+    kernel, _ = make_kernel(n=3)
+
+    def sender(ctx):
+        yield from ctx.local_step(5.0)
+        yield from ctx.send(1, "late")
+        return "sent"
+
+    def victim(ctx):
+        yield from ctx.wait_until(lambda mailbox: list(mailbox) or None)
+        return "never"
+
+    def patient(ctx):
+        # Keeps the simulation alive past the late delivery, then gives up.
+        yield from ctx.wait_until(lambda mailbox: list(mailbox) or None)
+        return "never either"
+
+    kernel.add_process(0, sender)
+    kernel.add_process(1, victim)
+    kernel.add_process(2, patient)
+    kernel.schedule_crash(1, 1.0)
+    result = kernel.run()
+    assert result.decisions == {0: "sent"}
+    assert kernel.dropped_deliveries == 1
+    assert result.status is RunStatus.DEADLOCK  # the patient process never hears anything
+
+
+def test_blocked_process_wakes_only_when_predicate_satisfied():
+    kernel, _ = make_kernel(n=2)
+
+    def sender(ctx):
+        for index in range(3):
+            yield from ctx.send(1, index)
+        return "sent"
+
+    def receiver(ctx):
+        msgs = yield from ctx.wait_until(lambda mailbox: mailbox if len(mailbox) >= 3 else None)
+        return len(msgs)
+
+    kernel.add_process(0, sender)
+    kernel.add_process(1, receiver)
+    result = kernel.run()
+    assert result.decisions[1] >= 3
+
+
+def test_shared_memory_effect_executes_atomically_and_returns_result():
+    kernel, _ = make_kernel(n=1)
+    register = AtomicRegister("r", 10)
+
+    def proc(ctx):
+        value = yield from ctx.sm_op(register.read)
+        yield from ctx.sm_op(register.write, value + 1)
+        return (yield from ctx.sm_op(register.read))
+
+    kernel.add_process(0, proc)
+    result = kernel.run()
+    assert result.decisions[0] == 11
+    assert register.stats.reads == 2 and register.stats.writes == 1
+
+
+def test_unknown_effect_raises_type_error():
+    kernel, _ = make_kernel(n=1)
+
+    def proc(ctx):
+        yield "this is not an effect"
+
+    kernel.add_process(0, proc)
+    with pytest.raises(TypeError):
+        kernel.run()
+
+
+def test_round_limit_halts_process():
+    kernel, _ = make_kernel(n=1, max_rounds=3)
+
+    def proc(ctx):
+        r = 0
+        while True:
+            r += 1
+            ctx.mark_round(r)
+            yield from ctx.local_step()
+
+    kernel.add_process(0, proc)
+    result = kernel.run()
+    assert result.status is RunStatus.ROUND_LIMIT
+    assert result.decisions == {}
+    assert result.rounds[0] == 4
+
+
+def test_max_time_produces_timeout_status():
+    kernel, _ = make_kernel(n=1, max_time=5.0)
+
+    def proc(ctx):
+        while True:
+            yield from ctx.local_step(1.0)
+
+    kernel.add_process(0, proc)
+    result = kernel.run()
+    assert result.status is RunStatus.TIMEOUT
+    assert result.end_time <= 5.0
+
+
+def test_deadlock_status_when_waiting_forever():
+    kernel, _ = make_kernel(n=2)
+
+    def waiter(ctx):
+        yield from ctx.wait_until(lambda mailbox: list(mailbox) or None)
+        return "woke"
+
+    def silent(ctx):
+        yield from ctx.local_step()
+        return "done"
+
+    kernel.add_process(0, waiter)
+    kernel.add_process(1, silent)
+    result = kernel.run()
+    assert result.status is RunStatus.DEADLOCK
+    assert 0 in result.non_terminated
+
+
+def test_determinism_same_seed_same_execution():
+    def build(seed):
+        kernel, network = make_kernel(n=3, seed=seed)
+
+        def proc(ctx):
+            yield from ctx.broadcast(ctx.pid)
+            msgs = yield from ctx.wait_until(lambda mb: mb if len(mb) >= 3 else None)
+            return tuple(sorted(m.payload for m in msgs[:3]))
+
+        for pid in range(3):
+            kernel.add_process(pid, proc)
+        result = kernel.run()
+        return result.end_time, result.events_processed, result.decisions
+
+    assert build(123) == build(123)
+    assert build(123) != build(321) or build(123)[2] == build(321)[2]
+
+
+def test_scheduled_event_ordering_and_describe():
+    early = ScheduledEvent(time=1.0, sequence=1, event=StepResume(pid=0))
+    late = ScheduledEvent(time=2.0, sequence=0, event=StepResume(pid=1))
+    assert early < late
+    assert "StepResume" in describe(early.event)
+
+
+def test_process_state_terminal_classification():
+    assert ProcessState.CRASHED.is_terminal()
+    assert ProcessState.DECIDED.is_terminal()
+    assert ProcessState.HALTED.is_terminal()
+    assert not ProcessState.READY.is_terminal()
+    assert not ProcessState.BLOCKED.is_terminal()
+
+
+def test_decision_of_correct_raises_on_disagreement():
+    kernel, _ = make_kernel(n=2)
+
+    def proc(ctx):
+        yield from ctx.local_step()
+        return ctx.pid  # different decisions on purpose
+
+    kernel.add_process(0, proc)
+    kernel.add_process(1, proc)
+    result = kernel.run()
+    with pytest.raises(ValueError):
+        result.decision_of_correct()
+
+
+def test_trace_records_when_enabled():
+    kernel, _ = make_kernel(n=1, trace=True)
+
+    def proc(ctx):
+        ctx.log("starting")
+        yield from ctx.local_step()
+        return 1
+
+    kernel.add_process(0, proc)
+    kernel.run()
+    assert len(kernel.trace) > 0
+    assert any(entry.kind == "note" for entry in kernel.trace.entries)
