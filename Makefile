@@ -1,0 +1,18 @@
+# Local gates, matching what the CI driver runs.
+#
+#   make test        - the tier-1 suite (see ROADMAP.md)
+#   make bench-smoke - benchmark files with timing disabled (fast sanity)
+#   make bench       - full benchmark run with timings
+
+PYTHON ?= python
+
+.PHONY: test bench-smoke bench
+
+test:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest benchmarks -q --benchmark-disable
+
+bench:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest benchmarks -q --benchmark-only

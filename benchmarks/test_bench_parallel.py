@@ -1,0 +1,85 @@
+"""Benchmark the parallel sweep engine against the serial path.
+
+An E8-style scalability sweep (4 topology points x 5 seeds) is run twice:
+once with ``max_workers=1`` (the serial path) and once with a worker pool.
+The two must produce identical results; on a machine with at least 4 cores
+the parallel sweep must also be at least 2x faster wall-clock.
+"""
+
+import time
+
+from repro.harness.parallel import available_cpus
+
+from repro.cluster.topology import ClusterTopology
+from repro.harness.runner import ExperimentConfig
+from repro.harness.sweep import grid
+
+SEEDS = [1000 + index for index in range(5)]
+SIZES = (4, 8, 12, 16)
+PARALLEL_WORKERS = 4
+
+
+def _scalability_sweep(max_workers):
+    base = ExperimentConfig(
+        topology=ClusterTopology.even_split(4, 2),
+        algorithm="hybrid-local-coin",
+        proposals="split",
+    )
+    axes = {"topology": [ClusterTopology.even_split(n, 2) for n in SIZES]}
+    return grid(base, axes, seeds=SEEDS, max_workers=max_workers)
+
+
+def _timed(callable_):
+    start = time.perf_counter()
+    value = callable_()
+    return value, time.perf_counter() - start
+
+
+def test_bench_parallel_sweep_throughput(benchmark, request):
+    # The hard >=2x assert is a perf gate, not a correctness gate: it is live
+    # only in dedicated benchmark runs (`make bench`, i.e. --benchmark-only)
+    # on hardware that can deliver it, so a loaded CI box running the plain
+    # test suite can never flake on wall-clock timing.  When live, compare
+    # best-of-3 timings so a single scheduling hiccup (pool spawn, a noisy
+    # neighbour) cannot fail the gate; other runs keep a single sample.
+    strict = (
+        bool(request.config.getoption("--benchmark-only", default=False))
+        and benchmark.enabled
+        and available_cpus() >= 4
+    )
+    samples = 3 if strict else 1
+
+    serial, serial_seconds = _timed(lambda: _scalability_sweep(max_workers=1))
+    for _ in range(samples - 1):
+        _, seconds = _timed(lambda: _scalability_sweep(max_workers=1))
+        serial_seconds = min(serial_seconds, seconds)
+    parallel, parallel_seconds = benchmark.pedantic(
+        lambda: _timed(lambda: _scalability_sweep(max_workers=PARALLEL_WORKERS)),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    for _ in range(samples - 1):
+        _, seconds = _timed(lambda: _scalability_sweep(max_workers=PARALLEL_WORKERS))
+        parallel_seconds = min(parallel_seconds, seconds)
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    print()
+    print(
+        f"serial: {serial_seconds:.3f}s  parallel({PARALLEL_WORKERS} workers): "
+        f"{parallel_seconds:.3f}s  speedup: {speedup:.2f}x  cores: {available_cpus()}"
+    )
+
+    # Identical sweep structure and bit-identical metrics (wall time aside).
+    assert serial.labels() == parallel.labels()
+    for serial_point, parallel_point in zip(serial.points, parallel.points):
+        assert len(serial_point.results) == len(SEEDS)
+        for left, right in zip(serial_point.results, parallel_point.results):
+            left_metrics = left.metrics.as_dict()
+            right_metrics = right.metrics.as_dict()
+            left_metrics.pop("wall_time_seconds")
+            right_metrics.pop("wall_time_seconds")
+            assert left_metrics == right_metrics
+            assert left.sim_result.decisions == right.sim_result.decisions
+
+    if strict:
+        assert speedup >= 2.0, f"expected >=2x speedup on >=4 cores, got {speedup:.2f}x"

@@ -13,8 +13,10 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..cluster.topology import ClusterTopology
-from ..harness.runner import ExperimentConfig, run_consensus
+from ..harness.parallel import worker_pool
+from ..harness.runner import ExperimentConfig
 from ..harness.stats import summarize
+from ..harness.sweep import repeat
 from .common import ExperimentReport, default_seeds
 
 PAPER_CLAIM = (
@@ -24,7 +26,11 @@ PAPER_CLAIM = (
 )
 
 
-def run(seeds: Optional[Sequence[int]] = None, algorithms: Sequence[str] = ("hybrid-local-coin", "hybrid-common-coin")) -> ExperimentReport:
+def run(
+    seeds: Optional[Sequence[int]] = None,
+    algorithms: Sequence[str] = ("hybrid-local-coin", "hybrid-common-coin"),
+    max_workers: Optional[int] = None,
+) -> ExperimentReport:
     """Run both hybrid algorithms on both Figure 1 decompositions."""
     seeds = list(seeds) if seeds is not None else default_seeds(10)
     report = ExperimentReport(
@@ -36,31 +42,28 @@ def run(seeds: Optional[Sequence[int]] = None, algorithms: Sequence[str] = ("hyb
         "figure1-left": ClusterTopology.figure1_left(),
         "figure1-right": ClusterTopology.figure1_right(),
     }
-    for name, topology in decompositions.items():
-        report.add_note(f"{name}: {topology.describe()} (majority cluster: "
-                        f"{topology.majority_cluster_index() is not None})")
-        for algorithm in algorithms:
-            rounds, messages, sm_ops, terminated = [], [], [], []
-            for seed in seeds:
-                result = run_consensus(
-                    ExperimentConfig(topology=topology, algorithm=algorithm, proposals="split", seed=seed)
+    with worker_pool(max_workers):
+        for name, topology in decompositions.items():
+            report.add_note(f"{name}: {topology.describe()} (majority cluster: "
+                            f"{topology.majority_cluster_index() is not None})")
+            for algorithm in algorithms:
+                config = ExperimentConfig(topology=topology, algorithm=algorithm, proposals="split")
+                results = repeat(config, seeds, check=True, max_workers=max_workers)
+                rounds = [result.metrics.rounds_max for result in results]
+                messages = [result.metrics.messages_sent for result in results]
+                sm_ops = [result.metrics.sm_ops for result in results]
+                terminated = [result.metrics.terminated for result in results]
+                report.add_row(
+                    decomposition=name,
+                    algorithm=algorithm,
+                    n=topology.n,
+                    m=topology.m,
+                    majority_cluster=topology.majority_cluster_index() is not None,
+                    termination_rate=sum(terminated) / len(terminated),
+                    mean_rounds=summarize(rounds).mean,
+                    mean_messages=summarize(messages).mean,
+                    mean_sm_ops=summarize(sm_ops).mean,
                 )
-                result.report.raise_on_violation()
-                rounds.append(result.metrics.rounds_max)
-                messages.append(result.metrics.messages_sent)
-                sm_ops.append(result.metrics.sm_ops)
-                terminated.append(result.metrics.terminated)
-            report.add_row(
-                decomposition=name,
-                algorithm=algorithm,
-                n=topology.n,
-                m=topology.m,
-                majority_cluster=topology.majority_cluster_index() is not None,
-                termination_rate=sum(terminated) / len(terminated),
-                mean_rounds=summarize(rounds).mean,
-                mean_messages=summarize(messages).mean,
-                mean_sm_ops=summarize(sm_ops).mean,
-            )
     report.passed = (
         all(row["termination_rate"] == 1.0 for row in report.rows)
         and ClusterTopology.figure1_right().majority_cluster_index() is not None

@@ -15,8 +15,10 @@ from typing import Optional, Sequence
 
 from ..cluster.failures import FailurePattern
 from ..cluster.topology import ClusterTopology
-from ..harness.runner import ExperimentConfig, run_consensus
+from ..harness.parallel import worker_pool
+from ..harness.runner import ExperimentConfig
 from ..harness.stats import proportion, summarize
+from ..harness.sweep import repeat
 from ..sim.kernel import SimConfig
 from .common import ExperimentReport, default_seeds
 
@@ -32,6 +34,7 @@ def run(
     seeds: Optional[Sequence[int]] = None,
     sizes: Sequence[int] = (7, 11, 15),
     control_round_cap: int = 40,
+    max_workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Headline scenario for several ``n``; Ben-Or control with the same crash count."""
     seeds = list(seeds) if seeds is not None else default_seeds(10)
@@ -40,64 +43,57 @@ def run(
         title="Majority crash with a surviving majority-cluster member",
         paper_claim=PAPER_CLAIM,
     )
-    for n in sizes:
-        topology = ClusterTopology.with_majority_cluster(n, others=2)
-        survivor = sorted(topology.cluster_members(topology.majority_cluster_index()))[0]
-        pattern = FailurePattern.majority_crash_with_surviving_majority_cluster(topology, survivor=survivor)
-        crash_count = pattern.crash_count()
+    with worker_pool(max_workers):
+        for n in sizes:
+            topology = ClusterTopology.with_majority_cluster(n, others=2)
+            survivor = sorted(topology.cluster_members(topology.majority_cluster_index()))[0]
+            pattern = FailurePattern.majority_crash_with_surviving_majority_cluster(topology, survivor=survivor)
+            crash_count = pattern.crash_count()
 
-        for algorithm in ("hybrid-local-coin", "hybrid-common-coin"):
-            rounds, terminated, safe = [], [], []
-            for seed in seeds:
-                result = run_consensus(
-                    ExperimentConfig(
-                        topology=topology,
-                        algorithm=algorithm,
-                        proposals="split",
-                        failure_pattern=pattern,
-                        seed=seed,
-                    )
+            for algorithm in ("hybrid-local-coin", "hybrid-common-coin"):
+                config = ExperimentConfig(
+                    topology=topology,
+                    algorithm=algorithm,
+                    proposals="split",
+                    failure_pattern=pattern,
                 )
-                terminated.append(result.metrics.terminated)
-                safe.append(result.report.safety_ok)
-                rounds.append(result.metrics.rounds_max)
+                results = repeat(config, seeds, check=False, max_workers=max_workers)
+                terminated = [result.metrics.terminated for result in results]
+                safe = [result.report.safety_ok for result in results]
+                rounds = [result.metrics.rounds_max for result in results]
+                report.add_row(
+                    n=n,
+                    algorithm=algorithm,
+                    crashed=crash_count,
+                    crashed_majority=pattern.crashes_majority(n),
+                    termination_rate=proportion(terminated),
+                    safety_rate=proportion(safe),
+                    mean_rounds=summarize(rounds).mean,
+                )
+
+            # Control: Ben-Or under a crash of the same cardinality cannot terminate.
+            control_pattern = FailurePattern.crash_set(
+                sorted(set(range(n)) - {survivor})[: crash_count], time=0.0
+            )
+            control_config = ExperimentConfig(
+                topology=topology,
+                algorithm="ben-or",
+                proposals="split",
+                failure_pattern=control_pattern,
+                sim=SimConfig(max_rounds=control_round_cap, max_time=5e4),
+            )
+            control_results = repeat(control_config, seeds, check=False, max_workers=max_workers)
+            terminated = [result.metrics.terminated for result in control_results]
+            safe = [result.report.safety_ok for result in control_results]
             report.add_row(
                 n=n,
-                algorithm=algorithm,
-                crashed=crash_count,
-                crashed_majority=pattern.crashes_majority(n),
+                algorithm="ben-or (control)",
+                crashed=control_pattern.crash_count(),
+                crashed_majority=control_pattern.crashes_majority(n),
                 termination_rate=proportion(terminated),
                 safety_rate=proportion(safe),
-                mean_rounds=summarize(rounds).mean,
+                mean_rounds=float("nan"),
             )
-
-        # Control: Ben-Or under a crash of the same cardinality cannot terminate.
-        control_pattern = FailurePattern.crash_set(
-            sorted(set(range(n)) - {survivor})[: crash_count], time=0.0
-        )
-        terminated, safe = [], []
-        for seed in seeds:
-            result = run_consensus(
-                ExperimentConfig(
-                    topology=topology,
-                    algorithm="ben-or",
-                    proposals="split",
-                    failure_pattern=control_pattern,
-                    seed=seed,
-                    sim=SimConfig(max_rounds=control_round_cap, max_time=5e4),
-                )
-            )
-            terminated.append(result.metrics.terminated)
-            safe.append(result.report.safety_ok)
-        report.add_row(
-            n=n,
-            algorithm="ben-or (control)",
-            crashed=control_pattern.crash_count(),
-            crashed_majority=control_pattern.crashes_majority(n),
-            termination_rate=proportion(terminated),
-            safety_rate=proportion(safe),
-            mean_rounds=float("nan"),
-        )
 
     hybrid_rows = [row for row in report.rows if row["algorithm"].startswith("hybrid")]
     control_rows = [row for row in report.rows if row["algorithm"].startswith("ben-or")]

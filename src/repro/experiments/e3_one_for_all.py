@@ -14,8 +14,10 @@ from typing import Optional, Sequence
 
 from ..cluster.failures import FailurePattern
 from ..cluster.topology import ClusterTopology
-from ..harness.runner import ExperimentConfig, run_consensus
+from ..harness.parallel import worker_pool
+from ..harness.runner import ExperimentConfig
 from ..harness.stats import proportion, summarize
+from ..harness.sweep import repeat
 from .common import ExperimentReport, default_seeds
 
 PAPER_CLAIM = (
@@ -30,6 +32,7 @@ def run(
     n: int = 9,
     m: int = 3,
     algorithms: Sequence[str] = ("hybrid-local-coin", "hybrid-common-coin"),
+    max_workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Compare failure-free runs with 'one survivor per cluster' runs."""
     seeds = list(seeds) if seeds is not None else default_seeds(10)
@@ -55,31 +58,27 @@ def run(
         f"({'a majority' if lone_survivors.crashes_majority(n) else 'a minority'})"
     )
 
-    for algorithm in algorithms:
-        for scenario_name, pattern in scenarios.items():
-            rounds, messages, terminated = [], [], []
-            for seed in seeds:
-                result = run_consensus(
-                    ExperimentConfig(
-                        topology=topology,
-                        algorithm=algorithm,
-                        proposals="split",
-                        failure_pattern=pattern,
-                        seed=seed,
-                    )
+    with worker_pool(max_workers):
+        for algorithm in algorithms:
+            for scenario_name, pattern in scenarios.items():
+                config = ExperimentConfig(
+                    topology=topology,
+                    algorithm=algorithm,
+                    proposals="split",
+                    failure_pattern=pattern,
                 )
-                result.report.raise_on_violation()
-                rounds.append(result.metrics.rounds_max)
-                messages.append(result.metrics.messages_sent)
-                terminated.append(result.metrics.terminated)
-            report.add_row(
-                algorithm=algorithm,
-                scenario=scenario_name,
-                crashed=pattern.crash_count(),
-                termination_rate=proportion(terminated),
-                mean_rounds=summarize(rounds).mean,
-                mean_messages=summarize(messages).mean,
-            )
+                results = repeat(config, seeds, check=True, max_workers=max_workers)
+                rounds = [result.metrics.rounds_max for result in results]
+                messages = [result.metrics.messages_sent for result in results]
+                terminated = [result.metrics.terminated for result in results]
+                report.add_row(
+                    algorithm=algorithm,
+                    scenario=scenario_name,
+                    crashed=pattern.crash_count(),
+                    termination_rate=proportion(terminated),
+                    mean_rounds=summarize(rounds).mean,
+                    mean_messages=summarize(messages).mean,
+                )
 
     # The reproduction check: survivors always terminate, and their round count
     # stays in the same ballpark as the failure-free runs (within a factor 3).

@@ -13,8 +13,10 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..cluster.topology import ClusterTopology
-from ..harness.runner import ExperimentConfig, run_consensus
+from ..harness.parallel import worker_pool
+from ..harness.runner import ExperimentConfig
 from ..harness.stats import summarize
+from ..harness.sweep import repeat
 from .common import ExperimentReport, default_seeds
 
 PAPER_CLAIM = (
@@ -29,6 +31,7 @@ def run(
     sizes: Sequence[int] = (6, 12),
     cluster_counts: Sequence[int] = (3,),
     proposals: Sequence[str] = ("unanimous-1", "split"),
+    max_workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Rounds-to-decide for both hybrid algorithms, by input pattern and size."""
     seeds = list(seeds) if seeds is not None else default_seeds(30)
@@ -37,35 +40,31 @@ def run(
         title="Expected rounds to decision",
         paper_claim=PAPER_CLAIM,
     )
-    for n in sizes:
-        for m in cluster_counts:
-            if m > n:
-                continue
-            topology = ClusterTopology.even_split(n, m)
-            for algorithm in ("hybrid-local-coin", "hybrid-common-coin"):
-                for proposal in proposals:
-                    rounds = []
-                    for seed in seeds:
-                        result = run_consensus(
-                            ExperimentConfig(
-                                topology=topology,
-                                algorithm=algorithm,
-                                proposals=proposal,
-                                seed=seed,
-                            )
+    with worker_pool(max_workers):
+        for n in sizes:
+            for m in cluster_counts:
+                if m > n:
+                    continue
+                topology = ClusterTopology.even_split(n, m)
+                for algorithm in ("hybrid-local-coin", "hybrid-common-coin"):
+                    for proposal in proposals:
+                        config = ExperimentConfig(
+                            topology=topology,
+                            algorithm=algorithm,
+                            proposals=proposal,
                         )
-                        result.report.raise_on_violation()
-                        rounds.append(result.metrics.rounds_max)
-                    stats = summarize(rounds)
-                    report.add_row(
-                        n=n,
-                        m=m,
-                        algorithm=algorithm,
-                        proposals=proposal,
-                        mean_rounds=stats.mean,
-                        median_rounds=stats.median,
-                        max_rounds=stats.maximum,
-                    )
+                        results = repeat(config, seeds, check=True, max_workers=max_workers)
+                        rounds = [result.metrics.rounds_max for result in results]
+                        stats = summarize(rounds)
+                        report.add_row(
+                            n=n,
+                            m=m,
+                            algorithm=algorithm,
+                            proposals=proposal,
+                            mean_rounds=stats.mean,
+                            median_rounds=stats.median,
+                            max_rounds=stats.maximum,
+                        )
 
     # Reproduction checks:
     #  - unanimous inputs: Algorithm 2 decides in exactly 1 round;

@@ -19,9 +19,11 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..cluster.topology import ClusterTopology
-from ..harness.runner import ExperimentConfig, run_consensus
+from ..harness.parallel import worker_pool
+from ..harness.runner import ExperimentConfig
 from ..harness.stats import mean as _mean
 from ..harness.stats import summarize
+from ..harness.sweep import repeat
 from ..mm.domain import SharedMemoryDomain
 from .common import ExperimentReport, default_seeds
 
@@ -36,6 +38,7 @@ def run(
     seeds: Optional[Sequence[int]] = None,
     sizes: Sequence[int] = (8, 12),
     cluster_counts: Sequence[int] = (2, 4),
+    max_workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Hybrid vs m&m per-phase shared-memory cost on matched structures."""
     seeds = list(seeds) if seeds is not None else default_seeds(8)
@@ -44,46 +47,43 @@ def run(
         title="Hybrid model vs m&m model: shared-memory cost per phase",
         paper_claim=PAPER_CLAIM,
     )
-    for n in sizes:
-        for m in cluster_counts:
-            if m > n:
-                continue
-            topology = ClusterTopology.even_split(n, m)
-            domain = SharedMemoryDomain.from_cluster_topology(topology)
-            predicted_mm_invocations = _mean(
-                [domain.degree(pid) + 1 for pid in domain.process_ids()]
-            )
-            configs = {
-                "hybrid-local-coin": ExperimentConfig(
-                    topology=topology, algorithm="hybrid-local-coin", proposals="split"
-                ),
-                "mm-local-coin": ExperimentConfig(
-                    topology=topology, algorithm="mm-local-coin", proposals="split", mm_domain=domain
-                ),
-            }
-            for label, config in configs.items():
-                objects_per_phase, invocations_per_process = [], []
-                rounds, messages = [], []
-                for seed in seeds:
-                    result = run_consensus(config.with_seed(seed))
-                    result.report.raise_on_violation()
-                    objects_per_phase.append(result.metrics.consensus_objects_per_phase)
-                    invocations_per_process.append(result.metrics.invocations_per_process_per_phase)
-                    rounds.append(result.metrics.rounds_max)
-                    messages.append(result.metrics.messages_sent)
-                predicted_objects = topology.m if label.startswith("hybrid") else topology.n
-                predicted_invocations = 1.0 if label.startswith("hybrid") else predicted_mm_invocations
-                report.add_row(
-                    n=n,
-                    m=m,
-                    model=label,
-                    objects_per_phase=summarize(objects_per_phase).mean,
-                    predicted_objects_per_phase=float(predicted_objects),
-                    invocations_per_process_per_phase=summarize(invocations_per_process).mean,
-                    predicted_invocations_per_process=float(predicted_invocations),
-                    mean_rounds=summarize(rounds).mean,
-                    mean_messages=summarize(messages).mean,
+    with worker_pool(max_workers):
+        for n in sizes:
+            for m in cluster_counts:
+                if m > n:
+                    continue
+                topology = ClusterTopology.even_split(n, m)
+                domain = SharedMemoryDomain.from_cluster_topology(topology)
+                predicted_mm_invocations = _mean(
+                    [domain.degree(pid) + 1 for pid in domain.process_ids()]
                 )
+                configs = {
+                    "hybrid-local-coin": ExperimentConfig(
+                        topology=topology, algorithm="hybrid-local-coin", proposals="split"
+                    ),
+                    "mm-local-coin": ExperimentConfig(
+                        topology=topology, algorithm="mm-local-coin", proposals="split", mm_domain=domain
+                    ),
+                }
+                for label, config in configs.items():
+                    results = repeat(config, seeds, check=True, max_workers=max_workers)
+                    objects_per_phase = [r.metrics.consensus_objects_per_phase for r in results]
+                    invocations_per_process = [r.metrics.invocations_per_process_per_phase for r in results]
+                    rounds = [r.metrics.rounds_max for r in results]
+                    messages = [r.metrics.messages_sent for r in results]
+                    predicted_objects = topology.m if label.startswith("hybrid") else topology.n
+                    predicted_invocations = 1.0 if label.startswith("hybrid") else predicted_mm_invocations
+                    report.add_row(
+                        n=n,
+                        m=m,
+                        model=label,
+                        objects_per_phase=summarize(objects_per_phase).mean,
+                        predicted_objects_per_phase=float(predicted_objects),
+                        invocations_per_process_per_phase=summarize(invocations_per_process).mean,
+                        predicted_invocations_per_process=float(predicted_invocations),
+                        mean_rounds=summarize(rounds).mean,
+                        mean_messages=summarize(messages).mean,
+                    )
 
     # The measured per-phase counts should match the model predictions to
     # within 25% (slow processes may not touch the last round's objects).

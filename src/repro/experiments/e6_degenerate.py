@@ -14,8 +14,10 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..cluster.topology import ClusterTopology
-from ..harness.runner import ExperimentConfig, run_consensus
+from ..harness.parallel import worker_pool
+from ..harness.runner import ExperimentConfig
 from ..harness.stats import summarize
+from ..harness.sweep import repeat
 from .common import ExperimentReport, default_seeds
 
 PAPER_CLAIM = (
@@ -28,6 +30,7 @@ PAPER_CLAIM = (
 def run(
     seeds: Optional[Sequence[int]] = None,
     n: int = 7,
+    max_workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Compare degenerate hybrid configurations with the corresponding baselines."""
     seeds = list(seeds) if seeds is not None else default_seeds(20)
@@ -55,23 +58,21 @@ def run(
             topology=single, algorithm="shared-memory", proposals="split"
         ),
     }
-    for label, config in configs.items():
-        rounds, messages, sm_ops, decision_time = [], [], [], []
-        for seed in seeds:
-            result = run_consensus(config.with_seed(seed))
-            result.report.raise_on_violation()
-            rounds.append(result.metrics.rounds_max)
-            messages.append(result.metrics.messages_sent)
-            sm_ops.append(result.metrics.sm_ops)
-            decision_time.append(result.metrics.decision_time_max)
-        report.add_row(
-            configuration=label,
-            n=n,
-            mean_rounds=summarize(rounds).mean,
-            mean_messages=summarize(messages).mean,
-            mean_sm_ops=summarize(sm_ops).mean,
-            mean_decision_time=summarize(decision_time).mean,
-        )
+    with worker_pool(max_workers):
+        for label, config in configs.items():
+            results = repeat(config, seeds, check=True, max_workers=max_workers)
+            rounds = [result.metrics.rounds_max for result in results]
+            messages = [result.metrics.messages_sent for result in results]
+            sm_ops = [result.metrics.sm_ops for result in results]
+            decision_time = [result.metrics.decision_time_max for result in results]
+            report.add_row(
+                configuration=label,
+                n=n,
+                mean_rounds=summarize(rounds).mean,
+                mean_messages=summarize(messages).mean,
+                mean_sm_ops=summarize(sm_ops).mean,
+                mean_decision_time=summarize(decision_time).mean,
+            )
 
     singleton_hybrid = report.row_where(configuration="hybrid m=n (singleton clusters)")
     ben_or = report.row_where(configuration="ben-or (pure message passing)")

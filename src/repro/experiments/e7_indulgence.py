@@ -16,8 +16,10 @@ from typing import Optional, Sequence
 
 from ..cluster.failures import FailurePattern
 from ..cluster.topology import ClusterTopology
-from ..harness.runner import ExperimentConfig, run_consensus, termination_expected
+from ..harness.parallel import worker_pool
+from ..harness.runner import ExperimentConfig, termination_expected
 from ..harness.stats import proportion
+from ..harness.sweep import repeat
 from ..sim.kernel import SimConfig
 from .common import ExperimentReport, default_seeds
 
@@ -39,6 +41,7 @@ def run(
         "ben-or",
         "mp-common-coin",
     ),
+    max_workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Adversarial crash patterns that break the termination condition."""
     seeds = list(seeds) if seeds is not None else default_seeds(12)
@@ -58,32 +61,29 @@ def run(
         "decisions by some processes are possible and must stay consistent)."
     )
 
-    for algorithm in algorithms:
-        pattern = violating if algorithm.startswith("hybrid") else majority_crash
-        expected = termination_expected(algorithm, topology, pattern)
-        safe, terminated, decided_anyway = [], [], []
-        for seed in seeds:
-            result = run_consensus(
-                ExperimentConfig(
-                    topology=topology,
-                    algorithm=algorithm,
-                    proposals="split",
-                    failure_pattern=pattern,
-                    seed=seed,
-                    sim=sim,
-                )
+    with worker_pool(max_workers):
+        for algorithm in algorithms:
+            pattern = violating if algorithm.startswith("hybrid") else majority_crash
+            expected = termination_expected(algorithm, topology, pattern)
+            config = ExperimentConfig(
+                topology=topology,
+                algorithm=algorithm,
+                proposals="split",
+                failure_pattern=pattern,
+                sim=sim,
             )
-            safe.append(result.report.safety_ok)
-            terminated.append(result.metrics.terminated)
-            decided_anyway.append(bool(result.sim_result.decisions))
-        report.add_row(
-            algorithm=algorithm,
-            pattern="cluster-condition-violated" if algorithm.startswith("hybrid") else "majority-crashed",
-            termination_expected=expected,
-            termination_rate=proportion(terminated),
-            some_process_decided_rate=proportion(decided_anyway),
-            safety_rate=proportion(safe),
-        )
+            results = repeat(config, seeds, check=False, max_workers=max_workers)
+            safe = [result.report.safety_ok for result in results]
+            terminated = [result.metrics.terminated for result in results]
+            decided_anyway = [bool(result.sim_result.decisions) for result in results]
+            report.add_row(
+                algorithm=algorithm,
+                pattern="cluster-condition-violated" if algorithm.startswith("hybrid") else "majority-crashed",
+                termination_expected=expected,
+                termination_rate=proportion(terminated),
+                some_process_decided_rate=proportion(decided_anyway),
+                safety_rate=proportion(safe),
+            )
 
     report.passed = all(row["safety_rate"] == 1.0 for row in report.rows) and all(
         not row["termination_expected"] for row in report.rows

@@ -18,8 +18,10 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..cluster.topology import ClusterTopology
-from ..harness.runner import ExperimentConfig, run_consensus
+from ..harness.parallel import worker_pool
+from ..harness.runner import ExperimentConfig
 from ..harness.stats import summarize
+from ..harness.sweep import repeat
 from ..mm.domain import SharedMemoryDomain
 from .common import ExperimentReport, default_seeds
 
@@ -50,6 +52,7 @@ def run(
     seeds: Optional[Sequence[int]] = None,
     sizes: Sequence[int] = (4, 8, 12, 16),
     algorithm: str = "hybrid-local-coin",
+    max_workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Reconstruct Figure 2 and sweep n and m for the scalability trade-off."""
     seeds = list(seeds) if seeds is not None else default_seeds(8)
@@ -63,35 +66,30 @@ def run(
     report.add_note(f"figure-2 domain reconstructed: {domain.describe()}")
     report.add_note(f"figure-2 domain matches the appendix: {figure2_ok}")
 
-    for n in sizes:
-        layouts: Dict[str, ClusterTopology] = {
-            "m=1": ClusterTopology.single_cluster(n),
-            "m=2": ClusterTopology.even_split(n, 2),
-            "m=n/2": ClusterTopology.even_split(n, max(2, n // 2)),
-            "m=n": ClusterTopology.singleton_clusters(n),
-        }
-        for layout_name, topology in layouts.items():
-            messages, sm_ops, latency, rounds = [], [], [], []
-            for seed in seeds:
-                result = run_consensus(
-                    ExperimentConfig(
-                        topology=topology, algorithm=algorithm, proposals="split", seed=seed
-                    )
+    with worker_pool(max_workers):
+        for n in sizes:
+            layouts: Dict[str, ClusterTopology] = {
+                "m=1": ClusterTopology.single_cluster(n),
+                "m=2": ClusterTopology.even_split(n, 2),
+                "m=n/2": ClusterTopology.even_split(n, max(2, n // 2)),
+                "m=n": ClusterTopology.singleton_clusters(n),
+            }
+            for layout_name, topology in layouts.items():
+                config = ExperimentConfig(topology=topology, algorithm=algorithm, proposals="split")
+                results = repeat(config, seeds, check=True, max_workers=max_workers)
+                messages = [result.metrics.messages_sent for result in results]
+                sm_ops = [result.metrics.sm_ops for result in results]
+                latency = [result.metrics.decision_time_max for result in results]
+                rounds = [result.metrics.rounds_max for result in results]
+                report.add_row(
+                    n=n,
+                    layout=layout_name,
+                    m=topology.m,
+                    mean_messages=summarize(messages).mean,
+                    mean_sm_ops=summarize(sm_ops).mean,
+                    mean_rounds=summarize(rounds).mean,
+                    mean_decision_time=summarize(latency).mean,
                 )
-                result.report.raise_on_violation()
-                messages.append(result.metrics.messages_sent)
-                sm_ops.append(result.metrics.sm_ops)
-                latency.append(result.metrics.decision_time_max)
-                rounds.append(result.metrics.rounds_max)
-            report.add_row(
-                n=n,
-                layout=layout_name,
-                m=topology.m,
-                mean_messages=summarize(messages).mean,
-                mean_sm_ops=summarize(sm_ops).mean,
-                mean_rounds=summarize(rounds).mean,
-                mean_decision_time=summarize(latency).mean,
-            )
 
     # Reproduction checks: the Figure 2 domain matches, and for every n the
     # m=1 layout needs fewer messages and fewer rounds than the m=n layout

@@ -1,6 +1,14 @@
 """Experiment harness: runners, metrics, sweeps, statistics and reporting."""
 
 from .metrics import PHASES_PER_ROUND, RunMetrics, collect_metrics
+from .parallel import (
+    WORKERS_ENV_VAR,
+    available_cpus,
+    default_workers,
+    resolve_workers,
+    run_many,
+    worker_pool,
+)
 from .report import comparison_rows, format_records, format_series, format_table
 from .runner import (
     ALGORITHMS,
@@ -24,9 +32,12 @@ __all__ = [
     "SummaryStats",
     "SweepPoint",
     "SweepResult",
+    "WORKERS_ENV_VAR",
+    "available_cpus",
     "collect_metrics",
     "comparison_rows",
     "crash_scenarios",
+    "default_workers",
     "format_records",
     "format_series",
     "format_table",
@@ -38,7 +49,10 @@ __all__ = [
     "proportion",
     "repeat",
     "resolve_proposals",
+    "resolve_workers",
     "run_consensus",
+    "run_many",
+    "worker_pool",
     "run_seeds",
     "sample_std",
     "standard_topologies",

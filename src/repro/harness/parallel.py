@@ -1,0 +1,224 @@
+"""Parallel execution engine for experiment runs.
+
+The paper's experiments are embarrassingly parallel: every repetition is an
+independent, fully seeded :func:`~repro.harness.runner.run_consensus` call.
+:func:`run_many` fans a list of configurations out over a process pool while
+keeping the result list in input order, so a parallel sweep is
+*bit-identical* to the serial one — only faster.
+
+Fallbacks keep the engine safe to use unconditionally:
+
+* ``max_workers=1`` (or a single configuration) runs serially in-process;
+* configurations or results that cannot be pickled fall back to the serial
+  path instead of failing;
+* a broken worker pool (e.g. a worker killed by the OS) also falls back to
+  the serial path, which reproduces any genuine error deterministically.
+
+The default worker count comes from the ``REPRO_MAX_WORKERS`` environment
+variable when set, else from the CPUs usable by this process
+(affinity-aware, so container CPU quotas are respected).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .runner import ExperimentConfig, RunResult, run_consensus
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV_VAR = "REPRO_MAX_WORKERS"
+
+
+def _cgroup_cpu_quota() -> Optional[int]:
+    """Whole CPUs granted by the cgroup CPU quota, or ``None`` if unlimited.
+
+    ``sched_getaffinity`` sees cpusets but not CFS bandwidth limits, so a
+    container throttled to 2 CPUs of quota can still report 16 affine CPUs;
+    sizing pools (or speedup expectations) off that number oversubscribes.
+    """
+    try:  # cgroup v2
+        with open("/sys/fs/cgroup/cpu.max") as handle:
+            quota, period = handle.read().split()[:2]
+    except (OSError, ValueError):
+        try:  # cgroup v1
+            with open("/sys/fs/cgroup/cpu/cpu.cfs_quota_us") as handle:
+                quota = handle.read().strip()
+            with open("/sys/fs/cgroup/cpu/cpu.cfs_period_us") as handle:
+                period = handle.read().strip()
+        except OSError:
+            return None
+    if quota in ("max", "-1"):
+        return None
+    try:
+        return max(1, int(quota) // int(period))
+    except (ValueError, ZeroDivisionError):
+        return None
+
+
+def available_cpus() -> int:
+    """CPUs actually usable by this process (affinity- and cgroup-quota-aware)."""
+    try:
+        cpus = len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        cpus = os.cpu_count() or 1
+    quota = _cgroup_cpu_quota()
+    return min(cpus, quota) if quota is not None else cpus
+
+
+def default_workers() -> int:
+    """The default degree of parallelism (env override, else usable CPUs)."""
+    override = os.environ.get(WORKERS_ENV_VAR)
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return available_cpus()
+
+
+def resolve_workers(max_workers: Optional[int], task_count: int) -> int:
+    """Clamp the requested worker count to something useful for ``task_count``."""
+    if task_count <= 0:
+        return 1
+    workers = default_workers() if max_workers is None else max_workers
+    if workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {workers}")
+    return min(workers, task_count)
+
+
+def _execute(config: ExperimentConfig) -> RunResult:
+    """Worker entry point (module-level so the pool can pickle it)."""
+    return run_consensus(config)
+
+
+#: Pool shared by every :func:`run_many` call inside a :func:`worker_pool`
+#: context, so callers looping over small batches reuse one set of workers.
+_shared_pool: Optional[ProcessPoolExecutor] = None
+_shared_pool_workers: int = 0
+
+
+@contextmanager
+def worker_pool(max_workers: Optional[int] = None) -> Iterator[None]:
+    """Share one process pool across every :func:`run_many` call inside.
+
+    Experiments with nested parameter loops call :func:`~.sweep.repeat` once
+    per point; without this context each of those calls would spawn and tear
+    down its own pool, and on spawn-based platforms the interpreter start-up
+    can dwarf the simulations themselves.  Inside the context, parallel
+    ``run_many`` calls reuse the shared executor (its worker count wins over
+    per-call ``max_workers``, except that ``max_workers=1`` still forces the
+    serial path).  Nested contexts reuse the outermost pool; ``max_workers=1``
+    or a single usable CPU makes the whole context a no-op.
+    """
+    global _shared_pool, _shared_pool_workers
+    if _shared_pool is not None:  # nested: reuse the outer pool
+        yield
+        return
+    workers = default_workers() if max_workers is None else max_workers
+    if workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {workers}")
+    if workers == 1:
+        yield
+        return
+    pool = ProcessPoolExecutor(max_workers=workers)
+    _shared_pool, _shared_pool_workers = pool, workers
+    try:
+        yield
+    finally:
+        _shared_pool, _shared_pool_workers = None, 0
+        pool.shutdown()
+
+
+def _run_serial(configs: Sequence[ExperimentConfig], check: bool) -> List[RunResult]:
+    """Serial path: check each run as it finishes, so a violation exits early."""
+    results = []
+    for config in configs:
+        result = run_consensus(config)
+        if check:
+            result.report.raise_on_violation()
+        results.append(result)
+    return results
+
+
+def _should_fall_back(error: BaseException) -> bool:
+    """Whether a pool error is a pickling/transport problem, not a task bug.
+
+    Genuine exceptions raised by :func:`run_consensus` inside a worker must
+    propagate immediately — silently re-running a big batch serially would
+    roughly double its runtime before surfacing the same error.  Worker death
+    surfaces as ``BrokenProcessPool``; CPython's pickle reports unpicklable
+    objects as ``PicklingError`` or as ``TypeError`` / ``AttributeError`` /
+    ``OSError`` / ``EOFError`` whose message names pickling, which is what
+    the string check distinguishes.
+    """
+    if isinstance(error, (BrokenProcessPool, pickle.PicklingError)):
+        return True
+    return (
+        isinstance(error, (TypeError, AttributeError, OSError, EOFError))
+        and "pickle" in str(error).lower()
+    )
+
+
+def _run_pool(configs: Sequence[ExperimentConfig], workers: int) -> Optional[List[RunResult]]:
+    """Run configs through a process pool; ``None`` means 'fall back to serial'."""
+    global _shared_pool, _shared_pool_workers
+    shared = _shared_pool
+    try:
+        if shared is not None:
+            chunksize = max(1, len(configs) // (_shared_pool_workers * 4))
+            return list(shared.map(_execute, configs, chunksize=chunksize))
+        chunksize = max(1, len(configs) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute, configs, chunksize=chunksize))
+    except (BrokenProcessPool, pickle.PicklingError, TypeError, AttributeError, EOFError, OSError) as error:
+        if not _should_fall_back(error):
+            raise
+        if shared is not None and isinstance(error, BrokenProcessPool):
+            # A dead executor can never recover; uninstall it so later calls
+            # in the worker_pool context spawn fresh pools instead of warning
+            # and degrading to serial on every remaining point.
+            _shared_pool, _shared_pool_workers = None, 0
+        # Unpicklable configs/results or a pool whose workers died; the serial
+        # rerun reproduces any genuine error deterministically.  Warn so a
+        # large sweep never degrades to serial silently.
+        warnings.warn(
+            f"parallel run_many fell back to the serial path after "
+            f"{type(error).__name__}: {error}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return None
+
+
+def run_many(
+    configs: Iterable[ExperimentConfig],
+    max_workers: Optional[int] = None,
+    check: bool = False,
+) -> List[RunResult]:
+    """Run every configuration, in parallel when it pays, in input order.
+
+    Results are returned in the order of ``configs`` regardless of worker
+    scheduling, so callers see exactly what the serial path would produce.
+    With ``check``, the first offending configuration in input order raises;
+    on the serial path this exits as soon as the offending run finishes,
+    while the pool path checks after the batch completes.
+    """
+    configs = list(configs)
+    if max_workers is None and _shared_pool is not None:
+        workers = _shared_pool_workers
+    else:
+        workers = resolve_workers(max_workers, len(configs))
+    if workers > 1 and len(configs) > 1:
+        results = _run_pool(configs, workers)
+        if results is not None:
+            if check:
+                for result in results:
+                    result.report.raise_on_violation()
+            return results
+    return _run_serial(configs, check)

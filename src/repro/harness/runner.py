@@ -224,17 +224,20 @@ def run_consensus(config: ExperimentConfig) -> RunResult:
     )
 
 
-def run_seeds(config: ExperimentConfig, seeds: Sequence[int], check: bool = True) -> List[RunResult]:
+def run_seeds(
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    check: bool = True,
+    max_workers: Optional[int] = None,
+) -> List[RunResult]:
     """Run the same configuration under several seeds.
 
     With ``check`` (the default) every run's safety properties are asserted,
     and termination is asserted whenever it is expected for the algorithm and
-    crash pattern.
+    crash pattern.  Repetitions fan out over the parallel engine; results
+    come back in seed order, identical to a serial execution.
     """
-    results = []
-    for seed in seeds:
-        result = run_consensus(config.with_seed(seed))
-        if check:
-            result.report.raise_on_violation()
-        results.append(result)
-    return results
+    from .parallel import run_many  # imported late: parallel imports this module
+
+    configs = [config.with_seed(seed) for seed in seeds]
+    return run_many(configs, max_workers=max_workers, check=check)

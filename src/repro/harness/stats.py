@@ -66,8 +66,13 @@ def percentile(values: Sequence[float], q: float) -> float:
     high = int(math.ceil(rank))
     if low == high:
         return float(ordered[low])
+    lower = float(ordered[low])
+    upper = float(ordered[high])
     weight = rank - low
-    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+    # ``lower*(1-w) + upper*w`` can land strictly outside [lower, upper] for
+    # near-equal tiny floats; the incremental form plus a clamp cannot.
+    value = lower + weight * (upper - lower)
+    return min(max(value, lower), upper)
 
 
 def summarize(values: Iterable[float]) -> SummaryStats:

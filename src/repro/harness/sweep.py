@@ -7,7 +7,8 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .metrics import RunMetrics
-from .runner import ExperimentConfig, RunResult, run_consensus
+from .parallel import run_many
+from .runner import ExperimentConfig, RunResult, run_seeds
 from .stats import SummaryStats, proportion, summarize
 
 
@@ -63,15 +64,18 @@ class SweepResult:
         return rows
 
 
-def repeat(config: ExperimentConfig, seeds: Sequence[int], check: bool = True) -> List[RunResult]:
-    """Run ``config`` once per seed, asserting properties when ``check``."""
-    results = []
-    for seed in seeds:
-        result = run_consensus(config.with_seed(seed))
-        if check:
-            result.report.raise_on_violation()
-        results.append(result)
-    return results
+def repeat(
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    check: bool = True,
+    max_workers: Optional[int] = None,
+) -> List[RunResult]:
+    """Run ``config`` once per seed, asserting properties when ``check``.
+
+    Seed repetitions fan out over the parallel engine; the result list is
+    always in seed order and identical to a serial execution.
+    """
+    return run_seeds(config, seeds, check=check, max_workers=max_workers)
 
 
 def sweep(
@@ -79,6 +83,7 @@ def sweep(
     variations: Mapping[str, Mapping[str, Any]],
     seeds: Sequence[int],
     check: bool = True,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     """Run every named variation of ``base_config`` under every seed.
 
@@ -89,13 +94,15 @@ def sweep(
             "hybrid": {"algorithm": "hybrid-local-coin"},
             "ben-or": {"algorithm": "ben-or"},
         }, seeds=range(20))
+
+    All point x seed combinations are fanned out through one parallel batch
+    so workers stay busy across point boundaries.
     """
-    result = SweepResult()
-    for label, overrides in variations.items():
-        config = replace(base_config, **overrides)
-        runs = repeat(config, seeds, check=check)
-        result.points.append(SweepPoint(label=label, parameters=dict(overrides), results=runs))
-    return result
+    points = [
+        (label, dict(overrides), replace(base_config, **overrides))
+        for label, overrides in variations.items()
+    ]
+    return _run_points(points, seeds, check=check, max_workers=max_workers)
 
 
 def grid(
@@ -104,14 +111,15 @@ def grid(
     seeds: Sequence[int],
     label_format: Optional[Callable[[Dict[str, Any]], str]] = None,
     check: bool = True,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     """Cartesian-product sweep over several config fields.
 
     ``axes`` maps field names to the values to try; every combination is run
     under every seed.  Labels default to ``field=value`` pairs joined by
-    commas.
+    commas.  As with :func:`sweep`, the whole grid is one parallel batch.
     """
-    result = SweepResult()
+    points = []
     names = list(axes)
     for combination in itertools.product(*(axes[name] for name in names)):
         overrides = dict(zip(names, combination))
@@ -120,9 +128,24 @@ def grid(
             if label_format is not None
             else ", ".join(f"{name}={_short(value)}" for name, value in overrides.items())
         )
-        config = replace(base_config, **overrides)
-        runs = repeat(config, seeds, check=check)
-        result.points.append(SweepPoint(label=label, parameters=overrides, results=runs))
+        points.append((label, overrides, replace(base_config, **overrides)))
+    return _run_points(points, seeds, check=check, max_workers=max_workers)
+
+
+def _run_points(
+    points: Sequence[Tuple[str, Dict[str, Any], ExperimentConfig]],
+    seeds: Sequence[int],
+    check: bool,
+    max_workers: Optional[int],
+) -> SweepResult:
+    """Run every (point, seed) combination in one batch, then regroup by point."""
+    configs = [config.with_seed(seed) for _, _, config in points for seed in seeds]
+    runs = run_many(configs, max_workers=max_workers, check=check)
+    result = SweepResult()
+    per_point = len(seeds)
+    for index, (label, parameters, _) in enumerate(points):
+        chunk = runs[index * per_point : (index + 1) * per_point]
+        result.points.append(SweepPoint(label=label, parameters=parameters, results=chunk))
     return result
 
 

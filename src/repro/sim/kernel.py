@@ -126,6 +126,20 @@ class SimulationKernel:
         self.events_processed = 0
         self.dropped_deliveries = 0
         self._sched_rng = self.rng.stream("kernel", "jitter")
+        # Type-keyed dispatch tables: the event/effect mix is decided by the
+        # algorithms, so the hot loop should not walk an isinstance chain.
+        self._event_handlers: Dict[type, Callable[[Any], None]] = {
+            ProcessStart: self._handle_start,
+            StepResume: self._handle_resume,
+            MessageDelivery: self._handle_delivery,
+            ProcessCrash: self._handle_crash,
+        }
+        self._effect_handlers: Dict[type, Callable[[SimProcess, Any], None]] = {
+            SendEffect: self._do_send,
+            SharedMemEffect: self._do_sm_op,
+            WaitEffect: self._do_wait,
+            LocalEffect: self._do_local,
+        }
 
     # ----------------------------------------------------------------- setup
     def attach_network(self, network) -> None:
@@ -183,14 +197,19 @@ class SimulationKernel:
         """Process events until completion, quiescence or the time bound."""
         if not self._processes:
             raise RuntimeError("no processes registered")
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            if entry.time > self.config.max_time:
-                self.now = self.config.max_time
+        queue = self._queue
+        trace = self.trace
+        max_time = self.config.max_time
+        while queue:
+            entry = heapq.heappop(queue)
+            if entry.time > max_time:
+                self.now = max_time
                 return self._result(RunStatus.TIMEOUT)
-            self.now = max(self.now, entry.time)
+            if entry.time > self.now:
+                self.now = entry.time
             self.events_processed += 1
-            self.trace.record(self.now, "event", self._event_pid(entry.event), describe(entry.event))
+            if trace.enabled:
+                trace.record(self.now, "event", self._event_pid(entry.event), describe(entry.event))
             self._dispatch(entry.event)
             if self._all_settled():
                 break
@@ -201,16 +220,26 @@ class SimulationKernel:
         return getattr(event, "pid", None)
 
     def _dispatch(self, event: Event) -> None:
-        if isinstance(event, ProcessStart):
-            self._handle_start(event)
-        elif isinstance(event, StepResume):
-            self._handle_resume(event)
-        elif isinstance(event, MessageDelivery):
-            self._handle_delivery(event)
-        elif isinstance(event, ProcessCrash):
-            self._handle_crash(event)
-        else:  # pragma: no cover - defensive
+        handler = self._event_handlers.get(type(event)) or self._resolve_handler(
+            self._event_handlers, event
+        )
+        if handler is None:  # pragma: no cover - defensive
             raise TypeError(f"unknown event type: {event!r}")
+        handler(event)
+
+    @staticmethod
+    def _resolve_handler(table: Dict[type, Callable], obj: Any) -> Optional[Callable]:
+        """Subclasses of the known event/effect types dispatch like their base.
+
+        The exact-type lookup misses them, so walk the MRO once and cache the
+        match in the table — the hot loop stays a single dict hit afterwards.
+        """
+        for base in type(obj).__mro__[1:]:
+            handler = table.get(base)
+            if handler is not None:
+                table[type(obj)] = handler
+                return handler
+        return None
 
     # ---------------------------------------------------------- event handlers
     def _handle_start(self, event: ProcessStart) -> None:
@@ -265,47 +294,46 @@ class SimulationKernel:
             proc.state = ProcessState.DECIDED if stop.value is not None else ProcessState.HALTED
             if stop.value is None:
                 proc.halt_reason = "returned None"
-            self.trace.record(self.now, "decide", proc.pid, repr(stop.value))
+            if self.trace.enabled:
+                self.trace.record(self.now, "decide", proc.pid, repr(stop.value))
             return
         except RoundLimitExceeded as exceeded:
             proc.state = ProcessState.HALTED
             proc.halt_reason = str(exceeded)
-            self.trace.record(self.now, "halt", proc.pid, proc.halt_reason)
+            if self.trace.enabled:
+                self.trace.record(self.now, "halt", proc.pid, proc.halt_reason)
             return
         self._handle_effect(proc, effect)
 
     def _handle_effect(self, proc: SimProcess, effect: Any) -> None:
-        if isinstance(effect, SendEffect):
-            self._do_send(proc, effect)
-        elif isinstance(effect, SharedMemEffect):
-            self._do_sm_op(proc, effect)
-        elif isinstance(effect, WaitEffect):
-            self._do_wait(proc, effect)
-        elif isinstance(effect, LocalEffect):
-            delay = effect.duration if effect.duration is not None else self.config.local_step_delay
-            self._resume_later(proc.pid, None, delay)
-        else:
+        handler = self._effect_handlers.get(type(effect)) or self._resolve_handler(
+            self._effect_handlers, effect
+        )
+        if handler is None:
             raise TypeError(
                 f"process {proc.pid} yielded {effect!r}, which is not a recognised effect"
             )
+        handler(proc, effect)
 
     def _do_send(self, proc: SimProcess, effect: SendEffect) -> None:
         if self._network is None:
             raise RuntimeError("no network attached; cannot handle SendEffect")
         message = self._network.prepare(sender=proc.pid, dest=effect.dest, payload=effect.payload, time=self.now)
         delay = self._network.sample_delay(sender=proc.pid, dest=effect.dest)
-        self.trace.record(self.now, "send", proc.pid, f"to={effect.dest} {effect.payload!r}")
+        if self.trace.enabled:
+            self.trace.record(self.now, "send", proc.pid, f"to={effect.dest} {effect.payload!r}")
         self._schedule(self.now + delay, MessageDelivery(pid=effect.dest, message=message))
         self._resume_later(proc.pid, None, self.config.local_step_delay)
 
     def _do_sm_op(self, proc: SimProcess, effect: SharedMemEffect) -> None:
         result = effect.operation(*effect.args)
-        self.trace.record(
-            self.now,
-            "sm-op",
-            proc.pid,
-            f"{getattr(effect.operation, '__qualname__', effect.operation)!s}{effect.args!r} -> {result!r}",
-        )
+        if self.trace.enabled:
+            self.trace.record(
+                self.now,
+                "sm-op",
+                proc.pid,
+                f"{getattr(effect.operation, '__qualname__', effect.operation)!s}{effect.args!r} -> {result!r}",
+            )
         self._resume_later(proc.pid, result, self.config.sm_op_delay)
 
     def _do_wait(self, proc: SimProcess, effect: WaitEffect) -> None:
@@ -315,7 +343,12 @@ class SimulationKernel:
             return
         proc.state = ProcessState.BLOCKED
         proc.wait_predicate = effect.predicate
-        self.trace.record(self.now, "block", proc.pid, "waiting on messages")
+        if self.trace.enabled:
+            self.trace.record(self.now, "block", proc.pid, "waiting on messages")
+
+    def _do_local(self, proc: SimProcess, effect: LocalEffect) -> None:
+        delay = effect.duration if effect.duration is not None else self.config.local_step_delay
+        self._resume_later(proc.pid, None, delay)
 
     # ------------------------------------------------------------------ ending
     def _all_settled(self) -> bool:

@@ -206,6 +206,35 @@ def test_percentile_single_value_and_interpolation():
     assert percentile([0.0, 10.0], 25) == 2.5
 
 
+def test_percentile_duplicates_never_leave_the_sample_range():
+    # Regression: the old form low*(1-w) + high*w could exceed max(values)
+    # for near-equal tiny floats (hypothesis found this exact example).
+    tiny = 9.238261545377998e-156
+    for q in (0.0, 37.5, 50.0, 81.1875, 99.9, 100.0):
+        assert percentile([tiny, tiny], q) == tiny
+    assert percentile([5.0] * 7, 33.3) == 5.0
+
+
+def test_percentile_denormal_values_stay_in_bounds():
+    denormals = [5e-324, 1e-323, 2.5e-323, 4e-323]
+    previous = None
+    for q in range(0, 101):
+        value = percentile(denormals, q)
+        assert min(denormals) <= value <= max(denormals)
+        if previous is not None:
+            assert value >= previous  # monotone in q
+        previous = value
+
+
+def test_percentile_exact_at_q_0_50_100():
+    values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6]
+    assert percentile(values, 0) == min(values)
+    assert percentile(values, 100) == max(values)
+    assert percentile(values, 50) == median(values)
+    odd = [2.0, 8.0, 5.0]
+    assert percentile(odd, 50) == 5.0
+
+
 # ----------------------------------------------------------------------- sweeps
 def test_repeat_and_sweep_and_grid():
     topo = ClusterTopology.even_split(4, 2)

@@ -1,0 +1,171 @@
+"""Tests of the parallel execution engine (`repro.harness.parallel`)."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.harness.parallel import default_workers, resolve_workers, run_many, worker_pool
+from repro.harness.runner import ExperimentConfig
+from repro.harness.sweep import grid, repeat, sweep
+from repro.network.delays import ConstantDelay
+
+
+def _base_config(algorithm="hybrid-local-coin"):
+    return ExperimentConfig(
+        topology=ClusterTopology.even_split(6, 3), algorithm=algorithm, proposals="split"
+    )
+
+
+def _comparable(result):
+    """Everything observable about a run except wall-clock time."""
+    metrics = result.metrics.as_dict()
+    metrics.pop("wall_time_seconds")
+    return (
+        metrics,
+        result.sim_result.decisions,
+        result.sim_result.decision_times,
+        result.sim_result.rounds,
+        result.proposals,
+        result.report.ok,
+    )
+
+
+# -------------------------------------------------------------- worker resolution
+def test_resolve_workers_clamps_to_task_count():
+    assert resolve_workers(8, 3) == 3
+    assert resolve_workers(2, 10) == 2
+    assert resolve_workers(None, 0) == 1
+    with pytest.raises(ValueError):
+        resolve_workers(0, 5)
+
+
+def test_default_workers_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_WORKERS", "3")
+    assert default_workers() == 3
+    assert resolve_workers(None, 10) == 3
+    monkeypatch.setenv("REPRO_MAX_WORKERS", "not-a-number")
+    assert default_workers() >= 1
+
+
+# ------------------------------------------------------------------ determinism
+def test_run_many_serial_is_seed_ordered():
+    config = _base_config()
+    seeds = [5, 1, 9]
+    results = run_many([config.with_seed(seed) for seed in seeds], max_workers=1, check=True)
+    assert [result.config.seed for result in results] == seeds
+
+
+def test_run_many_parallel_matches_serial_exactly():
+    config = _base_config()
+    configs = [config.with_seed(seed) for seed in range(6)]
+    serial = run_many(configs, max_workers=1, check=True)
+    parallel = run_many(configs, max_workers=3, check=True)
+    assert [result.config.seed for result in parallel] == list(range(6))
+    for left, right in zip(serial, parallel):
+        assert _comparable(left) == _comparable(right)
+
+
+def test_repeat_parallel_matches_serial_for_every_algorithm():
+    for algorithm in ("hybrid-common-coin", "ben-or"):
+        config = _base_config(algorithm)
+        serial = repeat(config, seeds=[0, 1, 2], check=True, max_workers=1)
+        parallel = repeat(config, seeds=[0, 1, 2], check=True, max_workers=2)
+        assert [_comparable(result) for result in serial] == [
+            _comparable(result) for result in parallel
+        ]
+
+
+def test_sweep_and_grid_parallel_match_serial():
+    base = _base_config()
+    variations = {
+        "local": {"algorithm": "hybrid-local-coin"},
+        "common": {"algorithm": "hybrid-common-coin"},
+    }
+    serial = sweep(base, variations, seeds=[0, 1], max_workers=1)
+    parallel = sweep(base, variations, seeds=[0, 1], max_workers=2)
+    assert serial.labels() == parallel.labels() == ["local", "common"]
+    for label in serial.labels():
+        left = [_comparable(result) for result in serial.point(label).results]
+        right = [_comparable(result) for result in parallel.point(label).results]
+        assert left == right
+
+    axes = {"algorithm": ["hybrid-local-coin", "hybrid-common-coin"]}
+    serial_grid = grid(base, axes, seeds=[3, 4], max_workers=1)
+    parallel_grid = grid(base, axes, seeds=[3, 4], max_workers=2)
+    assert serial_grid.labels() == parallel_grid.labels()
+    assert serial_grid.table(["rounds_max", "messages_sent"]) == parallel_grid.table(
+        ["rounds_max", "messages_sent"]
+    )
+
+
+# -------------------------------------------------------------------- fallbacks
+def test_run_many_falls_back_for_non_picklable_configs():
+    class LocalDelay(ConstantDelay):
+        """Defined inside the test function, so workers cannot unpickle it."""
+
+    config = ExperimentConfig(
+        topology=ClusterTopology.even_split(4, 2),
+        algorithm="hybrid-local-coin",
+        proposals="split",
+        delay_model=LocalDelay(1.0),
+    )
+    with pytest.warns(RuntimeWarning, match="fell back to the serial path"):
+        results = run_many(
+            [config.with_seed(seed) for seed in (0, 1)], max_workers=2, check=True
+        )
+    assert len(results) == 2
+    assert all(result.terminated for result in results)
+
+
+def test_fallback_only_for_pickling_and_transport_errors():
+    import pickle
+
+    from repro.harness.parallel import _should_fall_back
+
+    assert _should_fall_back(pickle.PicklingError("boom"))
+    assert _should_fall_back(TypeError("cannot pickle '_thread.lock' object"))
+    assert _should_fall_back(AttributeError("Can't pickle local object 'f.<locals>.C'"))
+    assert not _should_fall_back(TypeError("unsupported operand type(s) for +"))
+    assert not _should_fall_back(AttributeError("'NoneType' object has no attribute 'x'"))
+    assert not _should_fall_back(FileNotFoundError("missing.json"))
+
+
+def test_worker_pool_shares_one_executor_and_matches_serial(monkeypatch):
+    import repro.harness.parallel as parallel_mod
+
+    created = []
+    real_pool = parallel_mod.ProcessPoolExecutor
+
+    class CountingPool(real_pool):
+        def __init__(self, *args, **kwargs):
+            created.append(self)
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", CountingPool)
+    configs = [_base_config().with_seed(seed) for seed in (0, 1)]
+    serial = [_comparable(result) for result in run_many(configs, max_workers=1)]
+    with worker_pool(2):
+        first = run_many(configs)
+        second = run_many(configs)
+    assert len(created) == 1, "both run_many calls should reuse the context's pool"
+    assert [_comparable(result) for result in first] == serial
+    assert [_comparable(result) for result in second] == serial
+
+
+def test_worker_pool_is_a_noop_for_one_worker():
+    with worker_pool(1):
+        (result,) = run_many([_base_config().with_seed(3)])
+    assert result.terminated
+
+
+def test_worker_pool_rejects_invalid_worker_counts():
+    for bad in (0, -2):
+        with pytest.raises(ValueError):
+            with worker_pool(bad):
+                pass
+
+
+def test_run_many_empty_and_single_config():
+    assert run_many([], max_workers=4) == []
+    config = _base_config().with_seed(7)
+    (result,) = run_many([config], max_workers=4, check=True)
+    assert result.config.seed == 7 and result.terminated

@@ -4,7 +4,7 @@ import pytest
 
 from repro.network.delays import ConstantDelay
 from repro.network.transport import Network
-from repro.sim.context import RoundLimitExceeded
+from repro.sim.context import LocalEffect, RoundLimitExceeded
 from repro.sim.events import ScheduledEvent, StepResume, describe
 from repro.sim.kernel import RunStatus, SimConfig, SimulationKernel
 from repro.sim.process import ProcessState
@@ -209,6 +209,22 @@ def test_unknown_effect_raises_type_error():
     kernel.add_process(0, proc)
     with pytest.raises(TypeError):
         kernel.run()
+
+
+def test_effect_subclass_dispatches_like_its_base():
+    class DebugLocalEffect(LocalEffect):
+        """An effect subclass, e.g. one carrying extra instrumentation."""
+
+    kernel, _ = make_kernel(n=1)
+
+    def proc(ctx):
+        yield DebugLocalEffect(duration=0.5)
+        return "done"
+
+    kernel.add_process(0, proc)
+    result = kernel.run()
+    assert result.status is RunStatus.DECIDED
+    assert result.decisions == {0: "done"}
 
 
 def test_round_limit_halts_process():
