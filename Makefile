@@ -1,12 +1,13 @@
-# Local gates, matching what the CI driver runs.
+# Local gates, matching what CI runs (.github/workflows/ci.yml).
 #
 #   make test        - the tier-1 suite (see ROADMAP.md)
 #   make bench-smoke - benchmark files with timing disabled (fast sanity)
 #   make bench       - full benchmark run with timings
+#   make lint        - ruff check (skips with a notice when ruff is absent)
 
 PYTHON ?= python
 
-.PHONY: test bench-smoke bench
+.PHONY: test bench-smoke bench lint
 
 test:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -x -q
@@ -16,3 +17,12 @@ bench-smoke:
 
 bench:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest benchmarks -q --benchmark-only
+
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check .; \
+	elif command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "ruff is not installed; skipping lint (the CI lint job runs it)"; \
+	fi

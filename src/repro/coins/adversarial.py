@@ -9,7 +9,7 @@ pathological coins and check that agreement and validity still hold.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from .common import CommonCoin
 from .local import LocalCoin

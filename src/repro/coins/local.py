@@ -9,7 +9,7 @@ preserves independence while keeping runs reproducible.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 
 class LocalCoin:

@@ -8,7 +8,7 @@ class.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..cluster.topology import ClusterTopology

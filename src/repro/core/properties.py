@@ -14,10 +14,10 @@ property-based tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Set
+from typing import Any, List, Mapping, Optional
 
 from ..cluster.topology import ClusterTopology
-from ..sim.kernel import RunStatus, SimulationResult
+from ..sim.kernel import SimulationResult
 
 
 class ConsensusViolation(AssertionError):

@@ -9,7 +9,7 @@ claim next to the measured outcome for each experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Optional
 
 from ..harness.report import format_records
 

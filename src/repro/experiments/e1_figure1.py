@@ -15,7 +15,6 @@ from typing import Optional, Sequence
 from ..cluster.topology import ClusterTopology
 from ..harness.parallel import worker_pool
 from ..harness.runner import ExperimentConfig
-from ..harness.stats import summarize
 from ..harness.sweep import repeat
 from .common import ExperimentReport, default_seeds
 
@@ -48,21 +47,17 @@ def run(
                             f"{topology.majority_cluster_index() is not None})")
             for algorithm in algorithms:
                 config = ExperimentConfig(topology=topology, algorithm=algorithm, proposals="split")
-                results = repeat(config, seeds, check=True, max_workers=max_workers)
-                rounds = [result.metrics.rounds_max for result in results]
-                messages = [result.metrics.messages_sent for result in results]
-                sm_ops = [result.metrics.sm_ops for result in results]
-                terminated = [result.metrics.terminated for result in results]
+                aggregate = repeat(config, seeds, check=True, max_workers=max_workers)
                 report.add_row(
                     decomposition=name,
                     algorithm=algorithm,
                     n=topology.n,
                     m=topology.m,
                     majority_cluster=topology.majority_cluster_index() is not None,
-                    termination_rate=sum(terminated) / len(terminated),
-                    mean_rounds=summarize(rounds).mean,
-                    mean_messages=summarize(messages).mean,
-                    mean_sm_ops=summarize(sm_ops).mean,
+                    termination_rate=aggregate.termination_rate(),
+                    mean_rounds=aggregate.mean("rounds_max"),
+                    mean_messages=aggregate.mean("messages_sent"),
+                    mean_sm_ops=aggregate.mean("sm_ops"),
                 )
     report.passed = (
         all(row["termination_rate"] == 1.0 for row in report.rows)

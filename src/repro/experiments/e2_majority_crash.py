@@ -17,7 +17,6 @@ from ..cluster.failures import FailurePattern
 from ..cluster.topology import ClusterTopology
 from ..harness.parallel import worker_pool
 from ..harness.runner import ExperimentConfig
-from ..harness.stats import proportion, summarize
 from ..harness.sweep import repeat
 from ..sim.kernel import SimConfig
 from .common import ExperimentReport, default_seeds
@@ -57,18 +56,15 @@ def run(
                     proposals="split",
                     failure_pattern=pattern,
                 )
-                results = repeat(config, seeds, check=False, max_workers=max_workers)
-                terminated = [result.metrics.terminated for result in results]
-                safe = [result.report.safety_ok for result in results]
-                rounds = [result.metrics.rounds_max for result in results]
+                aggregate = repeat(config, seeds, check=False, max_workers=max_workers)
                 report.add_row(
                     n=n,
                     algorithm=algorithm,
                     crashed=crash_count,
                     crashed_majority=pattern.crashes_majority(n),
-                    termination_rate=proportion(terminated),
-                    safety_rate=proportion(safe),
-                    mean_rounds=summarize(rounds).mean,
+                    termination_rate=aggregate.termination_rate(),
+                    safety_rate=aggregate.safety_rate(),
+                    mean_rounds=aggregate.mean("rounds_max"),
                 )
 
             # Control: Ben-Or under a crash of the same cardinality cannot terminate.
@@ -82,16 +78,14 @@ def run(
                 failure_pattern=control_pattern,
                 sim=SimConfig(max_rounds=control_round_cap, max_time=5e4),
             )
-            control_results = repeat(control_config, seeds, check=False, max_workers=max_workers)
-            terminated = [result.metrics.terminated for result in control_results]
-            safe = [result.report.safety_ok for result in control_results]
+            control_aggregate = repeat(control_config, seeds, check=False, max_workers=max_workers)
             report.add_row(
                 n=n,
                 algorithm="ben-or (control)",
                 crashed=control_pattern.crash_count(),
                 crashed_majority=control_pattern.crashes_majority(n),
-                termination_rate=proportion(terminated),
-                safety_rate=proportion(safe),
+                termination_rate=control_aggregate.termination_rate(),
+                safety_rate=control_aggregate.safety_rate(),
                 mean_rounds=float("nan"),
             )
 

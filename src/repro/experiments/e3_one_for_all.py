@@ -16,7 +16,6 @@ from ..cluster.failures import FailurePattern
 from ..cluster.topology import ClusterTopology
 from ..harness.parallel import worker_pool
 from ..harness.runner import ExperimentConfig
-from ..harness.stats import proportion, summarize
 from ..harness.sweep import repeat
 from .common import ExperimentReport, default_seeds
 
@@ -67,17 +66,14 @@ def run(
                     proposals="split",
                     failure_pattern=pattern,
                 )
-                results = repeat(config, seeds, check=True, max_workers=max_workers)
-                rounds = [result.metrics.rounds_max for result in results]
-                messages = [result.metrics.messages_sent for result in results]
-                terminated = [result.metrics.terminated for result in results]
+                aggregate = repeat(config, seeds, check=True, max_workers=max_workers)
                 report.add_row(
                     algorithm=algorithm,
                     scenario=scenario_name,
                     crashed=pattern.crash_count(),
-                    termination_rate=proportion(terminated),
-                    mean_rounds=summarize(rounds).mean,
-                    mean_messages=summarize(messages).mean,
+                    termination_rate=aggregate.termination_rate(),
+                    mean_rounds=aggregate.mean("rounds_max"),
+                    mean_messages=aggregate.mean("messages_sent"),
                 )
 
     # The reproduction check: survivors always terminate, and their round count

@@ -10,12 +10,11 @@ several system sizes and cluster counts.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..cluster.topology import ClusterTopology
 from ..harness.parallel import worker_pool
 from ..harness.runner import ExperimentConfig
-from ..harness.stats import summarize
 from ..harness.sweep import repeat
 from .common import ExperimentReport, default_seeds
 
@@ -53,9 +52,8 @@ def run(
                             algorithm=algorithm,
                             proposals=proposal,
                         )
-                        results = repeat(config, seeds, check=True, max_workers=max_workers)
-                        rounds = [result.metrics.rounds_max for result in results]
-                        stats = summarize(rounds)
+                        aggregate = repeat(config, seeds, check=True, max_workers=max_workers)
+                        stats = aggregate.summary("rounds_max")
                         report.add_row(
                             n=n,
                             m=m,

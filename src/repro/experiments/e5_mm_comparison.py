@@ -22,7 +22,6 @@ from ..cluster.topology import ClusterTopology
 from ..harness.parallel import worker_pool
 from ..harness.runner import ExperimentConfig
 from ..harness.stats import mean as _mean
-from ..harness.stats import summarize
 from ..harness.sweep import repeat
 from ..mm.domain import SharedMemoryDomain
 from .common import ExperimentReport, default_seeds
@@ -66,23 +65,21 @@ def run(
                     ),
                 }
                 for label, config in configs.items():
-                    results = repeat(config, seeds, check=True, max_workers=max_workers)
-                    objects_per_phase = [r.metrics.consensus_objects_per_phase for r in results]
-                    invocations_per_process = [r.metrics.invocations_per_process_per_phase for r in results]
-                    rounds = [r.metrics.rounds_max for r in results]
-                    messages = [r.metrics.messages_sent for r in results]
+                    aggregate = repeat(config, seeds, check=True, max_workers=max_workers)
                     predicted_objects = topology.m if label.startswith("hybrid") else topology.n
                     predicted_invocations = 1.0 if label.startswith("hybrid") else predicted_mm_invocations
                     report.add_row(
                         n=n,
                         m=m,
                         model=label,
-                        objects_per_phase=summarize(objects_per_phase).mean,
+                        objects_per_phase=aggregate.mean("consensus_objects_per_phase"),
                         predicted_objects_per_phase=float(predicted_objects),
-                        invocations_per_process_per_phase=summarize(invocations_per_process).mean,
+                        invocations_per_process_per_phase=aggregate.mean(
+                            "invocations_per_process_per_phase"
+                        ),
                         predicted_invocations_per_process=float(predicted_invocations),
-                        mean_rounds=summarize(rounds).mean,
-                        mean_messages=summarize(messages).mean,
+                        mean_rounds=aggregate.mean("rounds_max"),
+                        mean_messages=aggregate.mean("messages_sent"),
                     )
 
     # The measured per-phase counts should match the model predictions to

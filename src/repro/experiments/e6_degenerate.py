@@ -16,7 +16,6 @@ from typing import Optional, Sequence
 from ..cluster.topology import ClusterTopology
 from ..harness.parallel import worker_pool
 from ..harness.runner import ExperimentConfig
-from ..harness.stats import summarize
 from ..harness.sweep import repeat
 from .common import ExperimentReport, default_seeds
 
@@ -60,18 +59,14 @@ def run(
     }
     with worker_pool(max_workers):
         for label, config in configs.items():
-            results = repeat(config, seeds, check=True, max_workers=max_workers)
-            rounds = [result.metrics.rounds_max for result in results]
-            messages = [result.metrics.messages_sent for result in results]
-            sm_ops = [result.metrics.sm_ops for result in results]
-            decision_time = [result.metrics.decision_time_max for result in results]
+            aggregate = repeat(config, seeds, check=True, max_workers=max_workers)
             report.add_row(
                 configuration=label,
                 n=n,
-                mean_rounds=summarize(rounds).mean,
-                mean_messages=summarize(messages).mean,
-                mean_sm_ops=summarize(sm_ops).mean,
-                mean_decision_time=summarize(decision_time).mean,
+                mean_rounds=aggregate.mean("rounds_max"),
+                mean_messages=aggregate.mean("messages_sent"),
+                mean_sm_ops=aggregate.mean("sm_ops"),
+                mean_decision_time=aggregate.mean("decision_time_max"),
             )
 
     singleton_hybrid = report.row_where(configuration="hybrid m=n (singleton clusters)")

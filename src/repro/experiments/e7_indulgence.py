@@ -18,7 +18,6 @@ from ..cluster.failures import FailurePattern
 from ..cluster.topology import ClusterTopology
 from ..harness.parallel import worker_pool
 from ..harness.runner import ExperimentConfig, termination_expected
-from ..harness.stats import proportion
 from ..harness.sweep import repeat
 from ..sim.kernel import SimConfig
 from .common import ExperimentReport, default_seeds
@@ -72,17 +71,14 @@ def run(
                 failure_pattern=pattern,
                 sim=sim,
             )
-            results = repeat(config, seeds, check=False, max_workers=max_workers)
-            safe = [result.report.safety_ok for result in results]
-            terminated = [result.metrics.terminated for result in results]
-            decided_anyway = [bool(result.sim_result.decisions) for result in results]
+            aggregate = repeat(config, seeds, check=False, max_workers=max_workers)
             report.add_row(
                 algorithm=algorithm,
                 pattern="cluster-condition-violated" if algorithm.startswith("hybrid") else "majority-crashed",
                 termination_expected=expected,
-                termination_rate=proportion(terminated),
-                some_process_decided_rate=proportion(decided_anyway),
-                safety_rate=proportion(safe),
+                termination_rate=aggregate.termination_rate(),
+                some_process_decided_rate=aggregate.decided_rate(),
+                safety_rate=aggregate.safety_rate(),
             )
 
     report.passed = all(row["safety_rate"] == 1.0 for row in report.rows) and all(

@@ -20,7 +20,6 @@ from typing import Dict, Optional, Sequence
 from ..cluster.topology import ClusterTopology
 from ..harness.parallel import worker_pool
 from ..harness.runner import ExperimentConfig
-from ..harness.stats import summarize
 from ..harness.sweep import repeat
 from ..mm.domain import SharedMemoryDomain
 from .common import ExperimentReport, default_seeds
@@ -76,19 +75,15 @@ def run(
             }
             for layout_name, topology in layouts.items():
                 config = ExperimentConfig(topology=topology, algorithm=algorithm, proposals="split")
-                results = repeat(config, seeds, check=True, max_workers=max_workers)
-                messages = [result.metrics.messages_sent for result in results]
-                sm_ops = [result.metrics.sm_ops for result in results]
-                latency = [result.metrics.decision_time_max for result in results]
-                rounds = [result.metrics.rounds_max for result in results]
+                aggregate = repeat(config, seeds, check=True, max_workers=max_workers)
                 report.add_row(
                     n=n,
                     layout=layout_name,
                     m=topology.m,
-                    mean_messages=summarize(messages).mean,
-                    mean_sm_ops=summarize(sm_ops).mean,
-                    mean_rounds=summarize(rounds).mean,
-                    mean_decision_time=summarize(latency).mean,
+                    mean_messages=aggregate.mean("messages_sent"),
+                    mean_sm_ops=aggregate.mean("sm_ops"),
+                    mean_rounds=aggregate.mean("rounds_max"),
+                    mean_decision_time=aggregate.mean("decision_time_max"),
                 )
 
     # Reproduction checks: the Figure 2 domain matches, and for every n the

@@ -9,8 +9,8 @@ numbers would only measure the simulator.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..sharedmem.memory import ClusterSharedMemory
 from ..sim.kernel import SimulationResult
@@ -142,9 +142,35 @@ def collect_metrics(
     )
 
 
+#: Metric fields excluded from run summaries.  Wall-clock time measures the
+#: simulator, not the algorithms (see the calibration note at the top of this
+#: module), and it is the one nondeterministic field -- keeping it would make
+#: otherwise bit-identical serial/parallel/chunked aggregates diverge.
+NON_STRUCTURAL_FIELDS = frozenset({"wall_time_seconds"})
+
+
+def numeric_metric_values(metrics: RunMetrics) -> Dict[str, float]:
+    """The numeric *structural* metric fields of one run, derived ratios included.
+
+    This is the payload a :class:`~repro.harness.aggregate.RunSummary`
+    carries across the worker pipe: booleans are excluded (they are outcome
+    flags, not measurements), ``None`` values (e.g. ``decided_value`` of a
+    non-terminating run) are dropped rather than coerced, and the
+    nondeterministic :data:`NON_STRUCTURAL_FIELDS` are left out so summary
+    aggregates are reproducible bit for bit.
+    """
+    values: Dict[str, float] = {}
+    for name, value in metrics.as_dict().items():
+        if name in NON_STRUCTURAL_FIELDS:
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        values[name] = float(value)
+    return values
+
+
 def metrics_field_names(numeric_only: bool = True) -> List[str]:
     """Names of the metric fields (numeric ones by default), for aggregation."""
-    numeric_types = (int, float)
     names: List[str] = []
     for name, spec in RunMetrics.__dataclass_fields__.items():
         if not numeric_only or spec.type in ("int", "float", "Optional[int]"):

@@ -21,14 +21,16 @@ variable when set, else from the CPUs usable by this process
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Any, Iterable, Iterator, List, Optional, Sequence
 
+from .aggregate import Reducer
 from .runner import ExperimentConfig, RunResult, run_consensus
 
 #: Environment variable overriding the default worker count.
@@ -92,9 +94,41 @@ def resolve_workers(max_workers: Optional[int], task_count: int) -> int:
     return min(workers, task_count)
 
 
+def default_chunksize(task_count: int, workers: Optional[int] = None) -> int:
+    """Submission chunk size that amortises executor overhead for tiny runs.
+
+    One pickled task per pipe round-trip is wasteful when each simulation
+    lasts microseconds; batching ~4 chunks per worker keeps the pipe quiet
+    while still letting the pool balance uneven run times.  The cap keeps
+    very large batches from degenerating into one chunk per worker (which
+    would serialise behind the slowest chunk).
+    """
+    if task_count <= 0:
+        return 1
+    if workers is None:
+        workers = available_cpus()
+    return max(1, min(64, math.ceil(task_count / (max(workers, 1) * 4))))
+
+
 def _execute(config: ExperimentConfig) -> RunResult:
     """Worker entry point (module-level so the pool can pickle it)."""
     return run_consensus(config)
+
+
+def _execute_reduced(task) -> Any:
+    """Worker entry point for summary mode: run, check, reduce in-worker.
+
+    Only the reducer's compact return value crosses the pipe back.  The
+    property check also happens here, so violations surface without ever
+    shipping the full result; :class:`~repro.core.properties.ConsensusViolation`
+    is an ``AssertionError`` and therefore never mistaken for a pickling
+    failure by the fallback logic.
+    """
+    index, config, reducer, check = task
+    result = run_consensus(config)
+    if check:
+        result.report.raise_on_violation()
+    return reducer(result, index)
 
 
 #: Pool shared by every :func:`run_many` call inside a :func:`worker_pool`
@@ -135,14 +169,18 @@ def worker_pool(max_workers: Optional[int] = None) -> Iterator[None]:
         pool.shutdown()
 
 
-def _run_serial(configs: Sequence[ExperimentConfig], check: bool) -> List[RunResult]:
+def _run_serial(
+    configs: Sequence[ExperimentConfig],
+    check: bool,
+    reducer: Optional[Reducer] = None,
+) -> List[Any]:
     """Serial path: check each run as it finishes, so a violation exits early."""
-    results = []
-    for config in configs:
+    results: List[Any] = []
+    for index, config in enumerate(configs):
         result = run_consensus(config)
         if check:
             result.report.raise_on_violation()
-        results.append(result)
+        results.append(result if reducer is None else reducer(result, index))
     return results
 
 
@@ -165,17 +203,29 @@ def _should_fall_back(error: BaseException) -> bool:
     )
 
 
-def _run_pool(configs: Sequence[ExperimentConfig], workers: int) -> Optional[List[RunResult]]:
+def _run_pool(
+    configs: Sequence[ExperimentConfig],
+    workers: int,
+    reducer: Optional[Reducer] = None,
+    check: bool = False,
+    chunksize: Optional[int] = None,
+) -> Optional[List[Any]]:
     """Run configs through a process pool; ``None`` means 'fall back to serial'."""
     global _shared_pool, _shared_pool_workers
     shared = _shared_pool
+    pool_workers = _shared_pool_workers if shared is not None else workers
+    if chunksize is None:
+        chunksize = default_chunksize(len(configs), pool_workers)
+    if reducer is None:
+        entry, tasks = _execute, list(configs)
+    else:
+        entry = _execute_reduced
+        tasks = [(index, config, reducer, check) for index, config in enumerate(configs)]
     try:
         if shared is not None:
-            chunksize = max(1, len(configs) // (_shared_pool_workers * 4))
-            return list(shared.map(_execute, configs, chunksize=chunksize))
-        chunksize = max(1, len(configs) // (workers * 4))
+            return list(shared.map(entry, tasks, chunksize=chunksize))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_execute, configs, chunksize=chunksize))
+            return list(pool.map(entry, tasks, chunksize=chunksize))
     except (BrokenProcessPool, pickle.PicklingError, TypeError, AttributeError, EOFError, OSError) as error:
         if not _should_fall_back(error):
             raise
@@ -200,7 +250,9 @@ def run_many(
     configs: Iterable[ExperimentConfig],
     max_workers: Optional[int] = None,
     check: bool = False,
-) -> List[RunResult]:
+    reducer: Optional[Reducer] = None,
+    chunksize: Optional[int] = None,
+) -> List[Any]:
     """Run every configuration, in parallel when it pays, in input order.
 
     Results are returned in the order of ``configs`` regardless of worker
@@ -208,6 +260,14 @@ def run_many(
     With ``check``, the first offending configuration in input order raises;
     on the serial path this exits as soon as the offending run finishes,
     while the pool path checks after the batch completes.
+
+    With a ``reducer``, each worker applies it to its ``RunResult`` before
+    returning, so only the reducer's compact output (O(1) bytes for the
+    standard :class:`~.aggregate.SummaryReducer`) crosses the pipe instead
+    of the full result; the returned list holds the reduced values, still
+    in input order, and property checks happen inside the workers.
+    ``chunksize`` overrides the :func:`default_chunksize` heuristic for
+    batching task submission.
     """
     configs = list(configs)
     if max_workers is None and _shared_pool is not None:
@@ -215,10 +275,10 @@ def run_many(
     else:
         workers = resolve_workers(max_workers, len(configs))
     if workers > 1 and len(configs) > 1:
-        results = _run_pool(configs, workers)
+        results = _run_pool(configs, workers, reducer=reducer, check=check, chunksize=chunksize)
         if results is not None:
-            if check:
+            if check and reducer is None:
                 for result in results:
                     result.report.raise_on_violation()
             return results
-    return _run_serial(configs, check)
+    return _run_serial(configs, check, reducer)

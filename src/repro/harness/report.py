@@ -72,3 +72,32 @@ def comparison_rows(
     for label, metrics in label_to_metrics.items():
         rows.append([label] + [metrics.get(field) for field in fields])
     return rows
+
+
+def aggregate_records(
+    label_to_aggregate: Mapping[str, Any],
+    metrics: Sequence[str],
+    ci: bool = False,
+) -> List[Dict[str, Any]]:
+    """Report rows straight from :class:`~repro.harness.aggregate.RunAggregate`.
+
+    One record per label with the run count, the termination rate and the
+    mean of each requested metric; with ``ci`` each metric also gets a
+    ``<metric>_ci95`` column (the half-width of the mean's 95% interval).
+    Works on anything exposing the aggregate interface, so a
+    :class:`~repro.harness.sweep.SweepPoint` qualifies too.
+    """
+    records = []
+    for label, aggregate in label_to_aggregate.items():
+        record: Dict[str, Any] = {
+            "label": label,
+            "runs": len(aggregate),
+            "termination_rate": aggregate.termination_rate(),
+        }
+        for metric in metrics:
+            stats = aggregate.summary(metric)
+            record[metric] = stats.mean
+            if ci:
+                record[f"{metric}_ci95"] = stats.ci95_half_width
+        records.append(record)
+    return records

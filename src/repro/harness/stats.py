@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, Mapping, Sequence
 
 
 @dataclass(frozen=True)
@@ -75,6 +75,13 @@ def percentile(values: Sequence[float], q: float) -> float:
     return min(max(value, lower), upper)
 
 
+def ci95_half_width(count: int, std: float) -> float:
+    """Half-width of the normal-approximation 95% CI for a sample mean."""
+    if count < 2:
+        return 0.0
+    return 1.96 * std / math.sqrt(count)
+
+
 def summarize(values: Iterable[float]) -> SummaryStats:
     """Summary statistics for a sample (raises on an empty sample)."""
     data = [float(value) for value in values]
@@ -82,7 +89,7 @@ def summarize(values: Iterable[float]) -> SummaryStats:
         raise ValueError("cannot summarize an empty sample")
     mu = mean(data)
     std = sample_std(data)
-    half_width = 1.96 * std / math.sqrt(len(data)) if len(data) > 1 else 0.0
+    half_width = ci95_half_width(len(data), std)
     return SummaryStats(
         count=len(data),
         mean=mu,

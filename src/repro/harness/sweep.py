@@ -1,39 +1,72 @@
-"""Parameter sweeps over seeds, topologies, algorithms and crash scenarios."""
+"""Parameter sweeps over seeds, topologies, algorithms and crash scenarios.
+
+Since the worker-side aggregation pipeline landed, sweeps run in *summary
+mode* by default: every repetition is reduced to a compact
+:class:`~.aggregate.RunSummary` inside the worker that executes it, and each
+sweep point carries a mergeable :class:`~.aggregate.RunAggregate` instead of
+a list of full results.  IPC volume is then O(1) per run rather than O(run
+size), which is what makes large sweeps cheap.  Pass ``full_results=True``
+to any of :func:`repeat`, :func:`sweep` or :func:`grid` to get the previous
+behaviour (full :class:`~.runner.RunResult` objects per repetition) — the
+aggregate is still populated, parent-side, so downstream consumers work
+identically in both modes.
+"""
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .aggregate import SKETCH_CAPACITY, RunAggregate, SummaryReducer
 from .metrics import RunMetrics
 from .parallel import run_many
 from .runner import ExperimentConfig, RunResult, run_seeds
-from .stats import SummaryStats, proportion, summarize
+from .stats import SummaryStats
 
 
 @dataclass
 class SweepPoint:
-    """All repetitions of one parameter combination."""
+    """All repetitions of one parameter combination.
+
+    ``aggregate`` is always populated; ``results`` holds the full per-run
+    objects only when the sweep ran with ``full_results=True``.
+    """
 
     label: str
     parameters: Dict[str, Any]
-    results: List[RunResult]
+    aggregate: RunAggregate
+    results: Optional[List[RunResult]] = None
+
+    @property
+    def runs(self) -> int:
+        return len(self.aggregate)
+
+    def __len__(self) -> int:
+        return len(self.aggregate)
 
     @property
     def metrics(self) -> List[RunMetrics]:
+        """Per-run metrics (full-results mode only)."""
+        if self.results is None:
+            raise ValueError(
+                f"sweep point {self.label!r} ran in summary mode and kept no "
+                f"full results; re-run with full_results=True for per-run access"
+            )
         return [result.metrics for result in self.results]
 
     def termination_rate(self) -> float:
-        return proportion(metrics.terminated for metrics in self.metrics)
+        return self.aggregate.termination_rate()
 
     def summary(self, metric: str) -> SummaryStats:
         """Summary statistics of one numeric metric field across repetitions."""
-        values = [getattr(metrics, metric) for metrics in self.metrics]
-        return summarize(values)
+        return self.aggregate.summary(metric)
 
     def mean(self, metric: str) -> float:
-        return self.summary(metric).mean
+        return self.aggregate.mean(metric)
+
+    def percentile(self, metric: str, q: float) -> float:
+        return self.aggregate.percentile(metric, q)
 
 
 @dataclass
@@ -56,7 +89,7 @@ class SweepResult:
         rows = []
         for point in self.points:
             row: Dict[str, Any] = {"label": point.label, **point.parameters}
-            row["runs"] = len(point.results)
+            row["runs"] = point.runs
             row["termination_rate"] = point.termination_rate()
             for metric in metrics:
                 row[metric] = point.summary(metric).mean
@@ -69,13 +102,23 @@ def repeat(
     seeds: Sequence[int],
     check: bool = True,
     max_workers: Optional[int] = None,
-) -> List[RunResult]:
-    """Run ``config`` once per seed, asserting properties when ``check``.
+    full_results: bool = False,
+    capacity: int = SKETCH_CAPACITY,
+):
+    """Run ``config`` once per seed and aggregate the repetitions.
 
-    Seed repetitions fan out over the parallel engine; the result list is
-    always in seed order and identical to a serial execution.
+    Returns a :class:`~.aggregate.RunAggregate` built from worker-side
+    summaries (the default), or the list of full :class:`~.runner.RunResult`
+    objects in seed order when ``full_results=True``.  Both modes fan out
+    over the parallel engine and are deterministic regardless of worker
+    scheduling or submission chunking.
     """
-    return run_seeds(config, seeds, check=check, max_workers=max_workers)
+    if full_results:
+        return run_seeds(config, seeds, check=check, max_workers=max_workers)
+    summaries = run_seeds(
+        config, seeds, check=check, max_workers=max_workers, reducer=SummaryReducer()
+    )
+    return RunAggregate.from_summaries(summaries, capacity=capacity)
 
 
 def sweep(
@@ -84,6 +127,7 @@ def sweep(
     seeds: Sequence[int],
     check: bool = True,
     max_workers: Optional[int] = None,
+    full_results: bool = False,
 ) -> SweepResult:
     """Run every named variation of ``base_config`` under every seed.
 
@@ -102,7 +146,7 @@ def sweep(
         (label, dict(overrides), replace(base_config, **overrides))
         for label, overrides in variations.items()
     ]
-    return _run_points(points, seeds, check=check, max_workers=max_workers)
+    return _run_points(points, seeds, check=check, max_workers=max_workers, full_results=full_results)
 
 
 def grid(
@@ -112,6 +156,7 @@ def grid(
     label_format: Optional[Callable[[Dict[str, Any]], str]] = None,
     check: bool = True,
     max_workers: Optional[int] = None,
+    full_results: bool = False,
 ) -> SweepResult:
     """Cartesian-product sweep over several config fields.
 
@@ -129,7 +174,7 @@ def grid(
             else ", ".join(f"{name}={_short(value)}" for name, value in overrides.items())
         )
         points.append((label, overrides, replace(base_config, **overrides)))
-    return _run_points(points, seeds, check=check, max_workers=max_workers)
+    return _run_points(points, seeds, check=check, max_workers=max_workers, full_results=full_results)
 
 
 def _run_points(
@@ -137,15 +182,37 @@ def _run_points(
     seeds: Sequence[int],
     check: bool,
     max_workers: Optional[int],
+    full_results: bool = False,
 ) -> SweepResult:
-    """Run every (point, seed) combination in one batch, then regroup by point."""
+    """Run every (point, seed) combination in one batch, then regroup by point.
+
+    Sketch priorities are keyed by the run's index in the whole batch, so
+    regrouping is a pure slice and aggregates are independent of worker
+    scheduling.  In full-results mode the same reducer runs parent-side over
+    the returned results, which makes both modes produce identical
+    aggregates.
+    """
     configs = [config.with_seed(seed) for _, _, config in points for seed in seeds]
-    runs = run_many(configs, max_workers=max_workers, check=check)
+    reducer = SummaryReducer()
+    if full_results:
+        runs: List[RunResult] = run_many(configs, max_workers=max_workers, check=check)
+        summaries = [reducer(result, index) for index, result in enumerate(runs)]
+    else:
+        runs = None
+        summaries = run_many(configs, max_workers=max_workers, check=check, reducer=reducer)
     result = SweepResult()
     per_point = len(seeds)
     for index, (label, parameters, _) in enumerate(points):
-        chunk = runs[index * per_point : (index + 1) * per_point]
-        result.points.append(SweepPoint(label=label, parameters=parameters, results=chunk))
+        start, stop = index * per_point, (index + 1) * per_point
+        aggregate = RunAggregate.from_summaries(summaries[start:stop])
+        result.points.append(
+            SweepPoint(
+                label=label,
+                parameters=parameters,
+                aggregate=aggregate,
+                results=runs[start:stop] if runs is not None else None,
+            )
+        )
     return result
 
 

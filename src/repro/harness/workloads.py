@@ -10,7 +10,7 @@ benign vs adversarial crash patterns).
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 from ..cluster.failures import FailurePattern
 from ..cluster.topology import ClusterTopology

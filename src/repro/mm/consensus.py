@@ -23,7 +23,7 @@ which proposed value a process carries into the round).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from ..core.base import (
     BOT,

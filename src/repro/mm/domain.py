@@ -10,8 +10,7 @@ its Figure 2, which :meth:`SharedMemoryDomain.figure2` reconstructs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 
 class DomainError(ValueError):

@@ -16,7 +16,7 @@ Algorithms invoke ``propose`` through the process context::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, Optional, Set
 
 from .register import MemoryAccessError
 from .rmw import CompareAndSwapRegister, LLSCRegister, TestAndSetRegister

@@ -10,10 +10,10 @@ Algorithm 3), created lazily on first use.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Set, Tuple
 
 from .consensus_object import CASConsensusObject, ConsensusObject, LLSCConsensusObject
-from .register import AtomicRegister, MemoryAccessError, RegisterArray
+from .register import AtomicRegister, MemoryAccessError
 from .rmw import (
     CompareAndSwapRegister,
     FetchAndAddRegister,

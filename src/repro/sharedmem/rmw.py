@@ -10,7 +10,7 @@ whereas compare&swap and LL/SC solve consensus for any number of processes.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict
 
 from .register import AtomicRegister
 

@@ -12,7 +12,7 @@ operation counts in virtual time instead (see DESIGN.md).
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict
 
 
 class ThreadSafeRegister:

@@ -17,7 +17,7 @@ intra-cluster substrate can do.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from .memory import ClusterSharedMemory
 

@@ -17,8 +17,8 @@ atomic steps interleaved by an asynchronous adversary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Tuple
 
 
 class Effect:

@@ -10,7 +10,7 @@ such a generator to completion and returns its value.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from repro.network.message import Message
 

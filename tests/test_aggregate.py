@@ -1,0 +1,257 @@
+"""Tests of the worker-side aggregation pipeline (`repro.harness.aggregate`)."""
+
+import math
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import ClusterTopology
+from repro.harness.aggregate import (
+    SKETCH_CAPACITY,
+    RunAggregate,
+    RunSummary,
+    StreamingStats,
+    SummaryReducer,
+    run_priority,
+)
+from repro.harness.runner import ExperimentConfig, run_consensus
+from repro.harness.stats import percentile, summarize
+
+
+def _filled(values, capacity=SKETCH_CAPACITY, entropy=0, base_index=0):
+    stats = StreamingStats(capacity=capacity)
+    for offset, value in enumerate(values):
+        stats.add(value, priority=run_priority(entropy, base_index + offset))
+    return stats
+
+
+# ------------------------------------------------------------------ priorities
+def test_run_priority_is_deterministic_and_uniform_range():
+    assert run_priority(0, 3) == run_priority(0, 3)
+    priorities = [run_priority(0, index) for index in range(200)]
+    assert all(0.0 <= priority < 1.0 for priority in priorities)
+    assert len(set(priorities)) == 200  # no collisions across run indices
+    assert run_priority(1, 3) != run_priority(0, 3)  # entropy matters
+
+
+# ------------------------------------------------------------- streaming stats
+def test_streaming_stats_matches_exact_summary():
+    values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3, 5.8]
+    stats = _filled(values)
+    exact = summarize(values)
+    assert stats.count == exact.count
+    assert stats.mean == pytest.approx(exact.mean, rel=1e-12)
+    assert stats.std == pytest.approx(exact.std, rel=1e-12)
+    assert stats.minimum == exact.minimum and stats.maximum == exact.maximum
+    view = stats.to_summary_stats()
+    assert view.median == exact.median  # below capacity: sketch is the sample
+    assert view.p90 == exact.p90
+    assert view.ci95_half_width == pytest.approx(exact.ci95_half_width, rel=1e-12)
+
+
+def test_streaming_stats_empty_and_singleton_edges():
+    empty = StreamingStats()
+    assert empty.count == 0 and empty.std == 0.0 and empty.variance == 0.0
+    with pytest.raises(ValueError):
+        empty.percentile(50.0)
+    with pytest.raises(ValueError):
+        empty.to_summary_stats()
+
+    single = _filled([7.5])
+    assert single.count == 1
+    assert single.mean == 7.5 and single.std == 0.0
+    assert single.minimum == single.maximum == 7.5
+    assert single.percentile(0.0) == single.percentile(100.0) == 7.5
+    assert single.to_summary_stats().ci95_half_width == 0.0
+
+    # merging with an empty accumulator is the identity, both ways
+    assert empty.merge(single) == single
+    assert single.merge(empty) == single
+    assert empty.merge(StreamingStats()).count == 0
+
+
+def test_streaming_stats_rejects_bad_capacity_and_mixed_merges():
+    with pytest.raises(ValueError):
+        StreamingStats(capacity=0)
+    with pytest.raises(ValueError):
+        _filled([1.0], capacity=4).merge(_filled([2.0], capacity=8))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    left=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=40),
+    right=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=40),
+)
+def test_merge_is_commutative_and_matches_pooled_moments(left, right):
+    """merge(a, b) == merge(b, a), and both equal the pooled sample's moments."""
+    a = _filled(left, base_index=0)
+    b = _filled(right, base_index=len(left))
+    ab = a.merge(b)
+    ba = b.merge(a)
+    # the merge formulas are written symmetrically, so this holds bit for bit
+    assert ab.count == ba.count
+    assert ab.mean == ba.mean
+    assert ab.m2 == ba.m2
+    assert ab.minimum == ba.minimum and ab.maximum == ba.maximum
+    assert ab.sample == ba.sample
+    pooled = summarize(left + right)
+    assert ab.mean == pytest.approx(pooled.mean, rel=1e-9, abs=1e-9)
+    assert ab.std == pytest.approx(pooled.std, rel=1e-6, abs=1e-9)
+    assert ab.minimum == pooled.minimum and ab.maximum == pooled.maximum
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    chunks=st.lists(
+        st.lists(st.floats(-1e4, 1e4), min_size=1, max_size=20), min_size=3, max_size=3
+    )
+)
+def test_merge_is_associative_on_pooled_moments(chunks):
+    first, second, third = chunks
+    a = _filled(first, base_index=0)
+    b = _filled(second, base_index=len(first))
+    c = _filled(third, base_index=len(first) + len(second))
+    left_tree = a.merge(b).merge(c)
+    right_tree = a.merge(b.merge(c))
+    assert left_tree.count == right_tree.count
+    assert left_tree.mean == pytest.approx(right_tree.mean, rel=1e-9, abs=1e-9)
+    assert left_tree.m2 == pytest.approx(right_tree.m2, rel=1e-6, abs=1e-9)
+    assert left_tree.sample == right_tree.sample  # set semantics: exactly equal
+    incremental = _filled(first + second + third)
+    assert left_tree.mean == pytest.approx(incremental.mean, rel=1e-9, abs=1e-9)
+
+
+def test_merge_equals_single_pass_below_capacity():
+    """Merging disjoint batches reproduces the single-pass sketch exactly."""
+    values = [random.Random(7).uniform(0, 100) for _ in range(64)]
+    whole = _filled(values)
+    split = _filled(values[:20]).merge(_filled(values[20:], base_index=20))
+    assert split.sample == whole.sample
+    assert split.count == whole.count
+    assert split.percentile(90.0) == whole.percentile(90.0)
+
+
+# ------------------------------------------------------------ percentile sketch
+def test_sketch_percentiles_within_rank_error_bound_on_10k_samples():
+    rng = random.Random(0)
+    values = [rng.lognormvariate(0.0, 1.0) for _ in range(10_000)]
+    stats = _filled(values)
+    assert not stats.exact
+    assert len(stats.sample) == SKETCH_CAPACITY
+    # A uniform subsample of size k has rank error ~1/sqrt(k); with k=512
+    # allow +-7.5 percentile ranks (>4 sigma, and deterministic anyway since
+    # priorities are fixed by run index).
+    for q in (10.0, 50.0, 90.0, 99.0):
+        estimate = stats.percentile(q)
+        low = percentile(values, max(q - 7.5, 0.0))
+        high = percentile(values, min(q + 7.5, 100.0))
+        assert low <= estimate <= high, f"q={q}: {estimate} outside [{low}, {high}]"
+    # moments stay exact regardless of sketching
+    exact = summarize(values)
+    assert stats.mean == pytest.approx(exact.mean, rel=1e-9)
+    assert stats.std == pytest.approx(exact.std, rel=1e-9)
+    assert stats.minimum == exact.minimum and stats.maximum == exact.maximum
+
+
+def test_sketch_is_exact_up_to_capacity():
+    values = list(range(32))
+    stats = _filled(values, capacity=32)
+    assert stats.exact
+    for q in (0.0, 25.0, 50.0, 75.0, 100.0):
+        assert stats.percentile(q) == percentile(values, q)
+    stats.add(99.0, priority=run_priority(0, 32))
+    assert not stats.exact
+    assert len(stats.sample) == 32
+
+
+# --------------------------------------------------------------- run aggregate
+def _run_summaries(seeds, algorithm="hybrid-local-coin"):
+    config = ExperimentConfig(
+        topology=ClusterTopology.even_split(4, 2), algorithm=algorithm, proposals="split"
+    )
+    reducer = SummaryReducer()
+    summaries = []
+    for index, seed in enumerate(seeds):
+        summaries.append(reducer(run_consensus(config.with_seed(seed)), index))
+    return summaries
+
+
+def test_run_summary_contents_and_compactness():
+    summaries = _run_summaries([3])
+    (summary,) = summaries
+    assert summary.seed == 3 and summary.index == 0
+    assert summary.algorithm == "hybrid-local-coin"
+    assert summary.terminated and summary.safety_ok and summary.decided
+    assert summary.decided_value in (0, 1)
+    assert summary.values["messages_sent"] > 0
+    assert "consensus_objects_per_phase" in summary.values  # derived ratios ride along
+    assert "wall_time_seconds" not in summary.values  # nondeterministic: excluded
+    config = ExperimentConfig(
+        topology=ClusterTopology.even_split(4, 2), algorithm="hybrid-local-coin", proposals="split"
+    )
+    full = run_consensus(config.with_seed(3))
+    assert len(pickle.dumps(summary)) < len(pickle.dumps(full)) / 4
+
+
+def test_run_aggregate_folding_and_merge_agree():
+    summaries = _run_summaries(range(6))
+    folded = RunAggregate.from_summaries(summaries)
+    merged = RunAggregate.from_summaries(summaries[:2]).merge(
+        RunAggregate.from_summaries(summaries[2:])
+    )
+    assert len(folded) == len(merged) == 6
+    assert folded.termination_rate() == merged.termination_rate() == 1.0
+    assert folded.safety_rate() == merged.safety_rate() == 1.0
+    for metric in ("messages_sent", "rounds_max", "sm_ops"):
+        assert folded.mean(metric) == pytest.approx(merged.mean(metric), rel=1e-12)
+        assert folded.summary(metric).median == merged.summary(metric).median
+        assert folded.minimum(metric) == merged.minimum(metric)
+        assert folded.maximum(metric) == merged.maximum(metric)
+
+
+def test_run_aggregate_edges_and_errors():
+    empty = RunAggregate()
+    assert len(empty) == 0
+    assert empty.termination_rate() == 0.0
+    assert empty.safety_rate() == 0.0 and empty.decided_rate() == 0.0
+    assert empty.metric_names() == []
+    with pytest.raises(KeyError, match="no aggregated metric"):
+        empty.mean("messages_sent")
+    with pytest.raises(ValueError):
+        RunAggregate(capacity=8).merge(RunAggregate(capacity=16))
+
+    (summary,) = _run_summaries([0])
+    singleton = RunAggregate.from_summaries([summary])
+    assert len(singleton) == 1
+    assert singleton.std("messages_sent") == 0.0
+    assert singleton.summary("messages_sent").ci95_half_width == 0.0
+    # merging with empty is the identity either way
+    assert empty.merge(singleton) == singleton
+    assert singleton.merge(RunAggregate()) == singleton
+
+
+def test_run_aggregate_merges_disjoint_metric_sets():
+    base = RunSummary(
+        seed=0, index=0, priority=run_priority(0, 0), algorithm="x",
+        terminated=True, safety_ok=True, decided=True, decided_value=1,
+        values={"only_left": 2.0},
+    )
+    other = RunSummary(
+        seed=1, index=1, priority=run_priority(0, 1), algorithm="x",
+        terminated=False, safety_ok=True, decided=False, decided_value=None,
+        values={"only_right": 5.0},
+    )
+    merged = RunAggregate.from_summaries([base]).merge(RunAggregate.from_summaries([other]))
+    assert merged.metric_names() == ["only_left", "only_right"]
+    assert merged.mean("only_left") == 2.0 and merged.mean("only_right") == 5.0
+    assert merged.termination_rate() == 0.5
+
+
+def test_summary_reducer_is_picklable():
+    reducer = SummaryReducer(entropy=42)
+    clone = pickle.loads(pickle.dumps(reducer))
+    assert clone == reducer
+    assert math.isclose(run_priority(42, 7), run_priority(42, 7))

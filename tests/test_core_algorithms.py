@@ -10,7 +10,7 @@ from repro.core.local_coin import LocalCoinConsensus
 from repro.harness.runner import ExperimentConfig, run_consensus
 from repro.network.delays import ExponentialDelay, SpikeDelay
 from repro.sharedmem.memory import ClusterSharedMemory
-from repro.sim.kernel import RunStatus, SimConfig
+from repro.sim.kernel import SimConfig
 
 HYBRID = ("hybrid-local-coin", "hybrid-common-coin")
 

@@ -1,6 +1,5 @@
 """Tests of the harness: workloads, runner, metrics, sweeps, stats, reporting."""
 
-import math
 import random
 
 import pytest
@@ -8,7 +7,13 @@ import pytest
 from repro.cluster.failures import FailurePattern
 from repro.cluster.topology import ClusterTopology
 from repro.harness.metrics import PHASES_PER_ROUND, RunMetrics
-from repro.harness.report import comparison_rows, format_records, format_series, format_table
+from repro.harness.report import (
+    aggregate_records,
+    comparison_rows,
+    format_records,
+    format_series,
+    format_table,
+)
 from repro.harness.runner import (
     ALGORITHMS,
     ExperimentConfig,
@@ -266,6 +271,36 @@ def test_repeat_and_sweep_and_grid():
 
 
 # ------------------------------------------------------------------- reporting
+def test_aggregate_records_from_aggregates_and_sweep_points():
+    topo = ClusterTopology.even_split(4, 2)
+    base = ExperimentConfig(topology=topo, algorithm="hybrid-local-coin", proposals="split")
+    swept = sweep(
+        base,
+        {
+            "local": {"algorithm": "hybrid-local-coin"},
+            "common": {"algorithm": "hybrid-common-coin"},
+        },
+        seeds=[0, 1, 2],
+    )
+    # works on RunAggregate and on SweepPoint alike (same interface)
+    by_aggregate = aggregate_records(
+        {point.label: point.aggregate for point in swept.points},
+        ["messages_sent", "rounds_max"],
+        ci=True,
+    )
+    by_point = aggregate_records(
+        {point.label: point for point in swept.points}, ["messages_sent", "rounds_max"]
+    )
+    assert [record["label"] for record in by_aggregate] == ["local", "common"]
+    for full, bare in zip(by_aggregate, by_point):
+        assert full["runs"] == bare["runs"] == 3
+        assert full["termination_rate"] == bare["termination_rate"] == 1.0
+        assert full["messages_sent"] == bare["messages_sent"] > 0
+        assert full["messages_sent_ci95"] >= 0.0
+        assert "messages_sent_ci95" not in bare
+    assert "rounds_max" in format_records(by_point)
+
+
 def test_format_table_and_records_and_series():
     table = format_table(["a", "b"], [[1, 2.345], ["x", True]], precision=1, title="T")
     assert "T" in table and "2.3" in table and "yes" in table

@@ -3,8 +3,16 @@
 import pytest
 
 from repro.cluster.topology import ClusterTopology
-from repro.harness.parallel import default_workers, resolve_workers, run_many, worker_pool
+from repro.harness.aggregate import RunAggregate, SummaryReducer
+from repro.harness.parallel import (
+    default_chunksize,
+    default_workers,
+    resolve_workers,
+    run_many,
+    worker_pool,
+)
 from repro.harness.runner import ExperimentConfig
+from repro.harness.stats import summarize
 from repro.harness.sweep import grid, repeat, sweep
 from repro.network.delays import ConstantDelay
 
@@ -46,6 +54,15 @@ def test_default_workers_env_override(monkeypatch):
     assert default_workers() >= 1
 
 
+def test_default_chunksize_heuristic():
+    assert default_chunksize(0, 4) == 1
+    assert default_chunksize(1, 4) == 1
+    assert default_chunksize(16, 4) == 1
+    assert default_chunksize(160, 4) == 10
+    assert default_chunksize(10_000, 4) == 64  # capped so chunks stay balanced
+    assert default_chunksize(8) >= 1  # workers default to available_cpus()
+
+
 # ------------------------------------------------------------------ determinism
 def test_run_many_serial_is_seed_ordered():
     config = _base_config()
@@ -67,11 +84,52 @@ def test_run_many_parallel_matches_serial_exactly():
 def test_repeat_parallel_matches_serial_for_every_algorithm():
     for algorithm in ("hybrid-common-coin", "ben-or"):
         config = _base_config(algorithm)
-        serial = repeat(config, seeds=[0, 1, 2], check=True, max_workers=1)
-        parallel = repeat(config, seeds=[0, 1, 2], check=True, max_workers=2)
+        serial = repeat(config, seeds=[0, 1, 2], check=True, max_workers=1, full_results=True)
+        parallel = repeat(config, seeds=[0, 1, 2], check=True, max_workers=2, full_results=True)
         assert [_comparable(result) for result in serial] == [
             _comparable(result) for result in parallel
         ]
+
+
+def test_repeat_summary_mode_is_deterministic_across_scheduling():
+    """Regression: serial == parallel == chunked, bit for bit.
+
+    Sketch priorities are spawned from the run index (never the worker), so
+    the aggregate a sweep produces must not depend on the worker count or on
+    how the batch was chunked for submission.
+    """
+    config = _base_config()
+    seeds = list(range(8))
+    serial = repeat(config, seeds, check=True, max_workers=1)
+    parallel = repeat(config, seeds, check=True, max_workers=3)
+    chunked_summaries = run_many(
+        [config.with_seed(seed) for seed in seeds],
+        max_workers=2,
+        check=True,
+        reducer=SummaryReducer(),
+        chunksize=4,
+    )
+    chunked = RunAggregate.from_summaries(chunked_summaries)
+    assert serial == parallel == chunked
+    assert len(serial) == len(seeds)
+    assert serial.termination_rate() == 1.0
+
+
+def test_summary_and_full_modes_agree_exactly_below_sketch_capacity():
+    config = _base_config()
+    seeds = list(range(6))
+    aggregate = repeat(config, seeds, check=True, max_workers=2)
+    results = repeat(config, seeds, check=True, max_workers=2, full_results=True)
+    for metric in ("messages_sent", "rounds_max", "sm_ops", "decision_time_max"):
+        values = [getattr(result.metrics, metric) for result in results]
+        exact = summarize(values)
+        sketched = aggregate.summary(metric)
+        assert sketched.count == exact.count
+        assert sketched.mean == pytest.approx(exact.mean, rel=1e-12)
+        assert sketched.minimum == exact.minimum and sketched.maximum == exact.maximum
+        # below capacity the sketch holds the entire sample: exact percentiles
+        assert sketched.median == exact.median
+        assert sketched.p90 == exact.p90
 
 
 def test_sweep_and_grid_parallel_match_serial():
@@ -80,8 +138,8 @@ def test_sweep_and_grid_parallel_match_serial():
         "local": {"algorithm": "hybrid-local-coin"},
         "common": {"algorithm": "hybrid-common-coin"},
     }
-    serial = sweep(base, variations, seeds=[0, 1], max_workers=1)
-    parallel = sweep(base, variations, seeds=[0, 1], max_workers=2)
+    serial = sweep(base, variations, seeds=[0, 1], max_workers=1, full_results=True)
+    parallel = sweep(base, variations, seeds=[0, 1], max_workers=2, full_results=True)
     assert serial.labels() == parallel.labels() == ["local", "common"]
     for label in serial.labels():
         left = [_comparable(result) for result in serial.point(label).results]
@@ -95,6 +153,43 @@ def test_sweep_and_grid_parallel_match_serial():
     assert serial_grid.table(["rounds_max", "messages_sent"]) == parallel_grid.table(
         ["rounds_max", "messages_sent"]
     )
+
+
+def test_sweep_summary_mode_matches_full_mode_aggregates():
+    base = _base_config()
+    variations = {
+        "local": {"algorithm": "hybrid-local-coin"},
+        "common": {"algorithm": "hybrid-common-coin"},
+    }
+    summary_mode = sweep(base, variations, seeds=[0, 1, 2], max_workers=2)
+    full_mode = sweep(base, variations, seeds=[0, 1, 2], max_workers=1, full_results=True)
+    for label in summary_mode.labels():
+        assert summary_mode.point(label).aggregate == full_mode.point(label).aggregate
+        assert summary_mode.point(label).results is None
+        assert len(full_mode.point(label).results) == 3
+        with pytest.raises(ValueError, match="summary mode"):
+            summary_mode.point(label).metrics
+
+
+def test_summary_mode_check_raises_in_worker():
+    from repro.core.properties import ConsensusViolation
+    from repro.sim.kernel import SimConfig
+
+    # Failure-free Ben-Or is expected to terminate, but split proposals can
+    # never produce a round-1 majority, so a one-round cap guarantees a
+    # liveness violation.  check=True in summary mode must surface it from
+    # inside the worker -- without ever shipping the full result back.
+    config = ExperimentConfig(
+        topology=ClusterTopology.even_split(6, 3),
+        algorithm="ben-or",
+        proposals="split",
+        sim=SimConfig(max_rounds=1, max_time=5e4),
+    )
+    with pytest.raises(ConsensusViolation):
+        repeat(config, seeds=[0, 1], check=True, max_workers=2)
+    aggregate = repeat(config, seeds=[0, 1], check=False, max_workers=2)
+    assert aggregate.safety_rate() == 1.0
+    assert aggregate.termination_rate() == 0.0
 
 
 # -------------------------------------------------------------------- fallbacks

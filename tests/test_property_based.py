@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -13,7 +12,7 @@ from repro.cluster.topology import ClusterTopology
 from repro.core.base import BOT, PhaseMessage, ProcessEnvironment
 from repro.core.pattern import scan_mailbox
 from repro.harness.runner import ExperimentConfig, run_consensus
-from repro.harness.stats import mean, percentile, sample_std, summarize
+from repro.harness.stats import percentile, summarize
 from repro.sharedmem.consensus_object import CASConsensusObject, LLSCConsensusObject
 from repro.sim.rng import RandomSource
 

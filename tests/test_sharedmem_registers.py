@@ -1,6 +1,5 @@
 """Unit tests for atomic registers and RMW synchronization primitives."""
 
-import pytest
 
 from repro.sharedmem.register import AtomicRegister, RegisterArray
 from repro.sharedmem.rmw import (

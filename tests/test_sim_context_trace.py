@@ -1,6 +1,5 @@
 """Unit tests for the process context, stats accounting and the trace."""
 
-import pytest
 
 from repro.network.delays import ConstantDelay
 from repro.network.transport import Network
@@ -45,7 +44,7 @@ def test_context_effect_objects_are_yielded():
         return 0
         yield
 
-    proc_record = kernel.add_process(0, proc)
+    kernel.add_process(0, proc)
     kernel.add_process(1, _idle)
     kernel.run()
     assert isinstance(captured[0], SendEffect) and captured[0].dest == 1

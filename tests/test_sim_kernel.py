@@ -4,7 +4,7 @@ import pytest
 
 from repro.network.delays import ConstantDelay
 from repro.network.transport import Network
-from repro.sim.context import LocalEffect, RoundLimitExceeded
+from repro.sim.context import LocalEffect
 from repro.sim.events import ScheduledEvent, StepResume, describe
 from repro.sim.kernel import RunStatus, SimConfig, SimulationKernel
 from repro.sim.process import ProcessState
