@@ -1,13 +1,15 @@
 # Local gates, matching what CI runs (.github/workflows/ci.yml).
 #
-#   make test        - the tier-1 suite (see ROADMAP.md)
-#   make bench-smoke - benchmark files with timing disabled (fast sanity)
-#   make bench       - full benchmark run with timings
-#   make lint        - ruff check (skips with a notice when ruff is absent)
+#   make test           - the tier-1 suite (see ROADMAP.md)
+#   make bench-smoke    - benchmark files with timing disabled (fast sanity)
+#   make bench          - full benchmark run with timings
+#   make lint           - ruff check (skips with a notice when ruff is absent)
+#   make examples-smoke - run the quickstart + sharded-sweep examples
+#   make linkcheck      - verify relative links in README.md / docs / READMEs
 
 PYTHON ?= python
 
-.PHONY: test bench-smoke bench lint
+.PHONY: test bench-smoke bench lint examples-smoke linkcheck
 
 test:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -x -q
@@ -26,3 +28,10 @@ lint:
 	else \
 		echo "ruff is not installed; skipping lint (the CI lint job runs it)"; \
 	fi
+
+examples-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) examples/quickstart.py
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) examples/sharded_sweep.py
+
+linkcheck:
+	$(PYTHON) scripts/check_markdown_links.py

@@ -1,0 +1,77 @@
+"""Check that relative markdown links in the repo's docs point at real files.
+
+Scans the documentation surface (top-level ``*.md``, ``docs/``, ``examples/``
+and in-tree READMEs) for ``[text](target)`` links and verifies every
+*relative* target exists on disk.  External URLs (``http(s)://``,
+``mailto:``), pure in-page anchors (``#...``) and targets that resolve
+outside the repository (GitHub-web-relative links like the CI badge's
+``../../actions/...``) are skipped -- only claims about files in this repo
+are checked.
+
+Run from anywhere inside the repo:  python scripts/check_markdown_links.py
+Exit status: 0 when every link resolves, 1 otherwise (broken links listed).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: ``[text](target)`` -- good enough for the plain links these docs use.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Where documentation lives, relative to the repo root.
+DOC_GLOBS = ("*.md", "docs/**/*.md", "examples/**/*.md", "src/**/*.md", ".github/**/*.md")
+
+
+def repo_root() -> Path:
+    """The repository root (parent of the scripts/ directory)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def doc_files(root: Path) -> List[Path]:
+    """Every markdown file on the documentation surface, deduplicated."""
+    found = set()
+    for pattern in DOC_GLOBS:
+        found.update(root.glob(pattern))
+    return sorted(path for path in found if path.is_file())
+
+
+def broken_links(root: Path) -> List[Tuple[Path, str]]:
+    """All ``(file, target)`` pairs whose relative target does not exist."""
+    broken = []
+    for md_file in doc_files(root):
+        for target in LINK_RE.findall(md_file.read_text(encoding="utf-8")):
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):  # http:, https:, mailto:
+                continue
+            if target.startswith("#"):  # in-page anchor
+                continue
+            path_part = target.split("#", 1)[0]
+            resolved = (md_file.parent / path_part).resolve()
+            try:
+                resolved.relative_to(root)
+            except ValueError:
+                continue  # escapes the repo (e.g. GitHub-web-relative badge links)
+            if not resolved.exists():
+                broken.append((md_file, target))
+    return broken
+
+
+def main() -> int:
+    """Entry point; prints broken links and returns the exit status."""
+    root = repo_root()
+    broken = broken_links(root)
+    for md_file, target in broken:
+        print(f"{md_file.relative_to(root)}: broken link -> {target}")
+    checked = len(doc_files(root))
+    if broken:
+        print(f"{len(broken)} broken link(s) across {checked} markdown file(s)")
+        return 1
+    print(f"all relative links resolve across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""The ``python -m repro`` command line: run, shard, resume and merge experiments.
+
+Four subcommands, designed so one sweep can span several machines with no
+coordination beyond a shared (or later collected) output directory::
+
+    python -m repro list                     # what experiments exist
+    python -m repro run e8                   # single host: run + print report
+    python -m repro run e8 --shard 2/4 --out runs/   # this host's quarter
+    python -m repro status runs/             # shard progress at a glance
+    python -m repro merge runs/ --report     # fold shards, print the report
+
+``run --shard`` writes one checkpoint per completed sweep point, so a killed
+shard re-invoked with the same command resumes instead of restarting.  Every
+host must build the same plan, which is why ``run`` exposes the experiment
+name and the seed count only -- both map deterministically to the plan; the
+seed list itself travels in the shard manifests, so ``merge`` needs nothing
+but the directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .experiments import ALL_EXPERIMENTS
+from .experiments.common import default_seeds, run_planned
+from .harness.distributed import (
+    ShardError,
+    ShardSpec,
+    merge_shards,
+    read_manifests,
+    run_shard,
+)
+from .harness.report import format_aggregates, format_records
+
+
+def _resolve_experiment(name: str):
+    """Map a CLI experiment name (``e1``/``E1``) to its driver module."""
+    module = ALL_EXPERIMENTS.get(name.upper())
+    if module is None:
+        choices = ", ".join(sorted(key.lower() for key in ALL_EXPERIMENTS))
+        raise ShardError(f"unknown experiment {name!r}; choose from: {choices}")
+    return module
+
+
+def _build_plan(experiment: str, seed_count: Optional[int], seeds: Optional[List[int]] = None):
+    module = _resolve_experiment(experiment)
+    if seeds is None and seed_count is not None:
+        seeds = default_seeds(seed_count)
+    return module, module.plan(seeds=seeds)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = []
+    for key in sorted(ALL_EXPERIMENTS):
+        module = ALL_EXPERIMENTS[key]
+        summary = (module.__doc__ or "").strip().splitlines()[0]
+        rows.append({"experiment": key.lower(), "summary": summary})
+    print(format_records(rows))
+    print()
+    print("run one with:   python -m repro run <experiment> [--seeds N]")
+    print("shard one with: python -m repro run <experiment> --shard I/K --out DIR")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    module, plan = _build_plan(args.experiment, args.seeds)
+    if args.shard is not None and args.out is None:
+        raise ShardError("--shard needs --out DIR to hold the manifest and checkpoints")
+    if args.out is not None:
+        shard = ShardSpec.parse(args.shard) if args.shard is not None else ShardSpec(1, 1)
+        result = run_shard(plan, shard, args.out, max_workers=args.max_workers)
+        done = result.runs_executed + result.runs_resumed
+        print(f"shard {shard} of {plan.key}: {done} runs "
+              f"({result.runs_executed} executed, {result.runs_resumed} resumed from checkpoints)")
+        for label in result.executed:
+            print(f"  computed  {label}")
+        for label in result.resumed:
+            print(f"  resumed   {label}")
+        for label in result.skipped:
+            print(f"  not-mine  {label}")
+        print(f"manifest: {result.manifest}")
+        print(f"when all {shard.count} shards are done:  python -m repro merge {result.out_dir} --report")
+        return 0
+    report = run_planned(plan, module.build_report, max_workers=args.max_workers)
+    print(report.format())
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    manifests = read_manifests(args.out_dir)
+    experiment = manifests[0].get("experiment")
+    if not experiment:
+        raise ShardError(
+            f"shards in {args.out_dir} were not produced by the CLI (no experiment "
+            f"recorded); merge them with repro.harness.distributed.merge_shards and "
+            f"the plan that produced them"
+        )
+    module, plan = _build_plan(experiment, None, seeds=list(manifests[0]["seeds"]))
+    merged = merge_shards(args.out_dir, plan)
+    if args.report:
+        print(module.build_report(merged.plan, merged.aggregates).format())
+        return 0
+    print(
+        format_aggregates(
+            merged.aggregates,
+            title=f"{plan.key}: {merged.shard_count} shard(s), "
+            f"{plan.total_runs} runs over {len(plan.points)} points",
+        )
+    )
+    print()
+    print(f"full experiment report:  python -m repro merge {args.out_dir} --report")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    rows = []
+    for manifest in read_manifests(args.out_dir):
+        points = manifest["points"]
+        complete = sum(
+            1 for record in points.values() if not record["runs"] or record.get("checkpoint")
+        )
+        # A killed shard's manifest has records only for the points it
+        # reached, so the denominator must be the whole plan (the labels
+        # list), not the records seen so far.
+        total_points = len(manifest.get("labels") or points)
+        rows.append(
+            {
+                "shard": f"{manifest['shard_index']}/{manifest['shard_count']}",
+                "experiment": manifest.get("experiment") or manifest.get("plan_key", "?"),
+                "points_done": f"{complete}/{total_points}",
+                "runs_done": f"{manifest.get('runs_done', '?')}/{manifest.get('runs_total', '?')}",
+            }
+        )
+    print(format_records(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run, shard, resume and merge the paper's experiments E1-E8.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the available experiments").set_defaults(func=_cmd_list)
+
+    run_parser = commands.add_parser("run", help="run one experiment, whole or as one shard")
+    run_parser.add_argument("experiment", help="experiment name, e.g. e1 or E8")
+    run_parser.add_argument(
+        "--seeds", type=int, default=None, metavar="N",
+        help="number of repetitions per sweep point (default: the experiment's own default)",
+    )
+    run_parser.add_argument(
+        "--shard", default=None, metavar="I/K",
+        help="execute only shard I of K (1-based); every host must use the same experiment and --seeds",
+    )
+    run_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="directory for shard manifests and per-point checkpoints (required with --shard; "
+        "re-running with the same DIR resumes from the checkpoints)",
+    )
+    run_parser.add_argument(
+        "--max-workers", type=int, default=None, metavar="W",
+        help="parallel worker processes on this host (default: usable CPUs)",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    merge_parser = commands.add_parser(
+        "merge", help="fold all shards in DIR into the single-host result"
+    )
+    merge_parser.add_argument("out_dir", metavar="DIR", help="directory holding every shard's output")
+    merge_parser.add_argument(
+        "--report", action="store_true",
+        help="print the full experiment report (identical to an unsharded run)",
+    )
+    merge_parser.set_defaults(func=_cmd_merge)
+
+    status_parser = commands.add_parser("status", help="show per-shard progress in DIR")
+    status_parser.add_argument("out_dir", metavar="DIR", help="directory holding shard manifests")
+    status_parser.set_defaults(func=_cmd_status)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code (2 on shard/manifest errors)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ShardError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `... | head`) closed the pipe; point
+        # stdout at devnull so the interpreter's exit-time flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0

@@ -1,8 +1,10 @@
 """Experiments E1–E8: one module per paper figure / quantitative claim.
 
-See DESIGN.md for the experiment index and EXPERIMENTS.md for the recorded
-paper-claim vs measured outcomes.  Every module exposes ``run(...)`` (used by
-the benchmark harness) and ``main()`` (prints the report).
+See ``docs/experiments.md`` for the experiment index (paper claim,
+parameters and sample invocations).  Every module exposes ``plan(...)``
+(the shardable run enumeration), ``build_report(plan, aggregates)``,
+``run(...)`` (used by the benchmark harness and the CLI) and ``main()``
+(prints the report).
 """
 
 from . import (

@@ -1,16 +1,29 @@
 """Shared plumbing for the experiment modules E1–E8.
 
-Each experiment module exposes ``run(...) -> ExperimentReport`` plus a
-``main()`` that prints the report; the benchmark files under ``benchmarks/``
-call ``run`` with small parameters, and EXPERIMENTS.md records the paper
-claim next to the measured outcome for each experiment.
+Each experiment module exposes three entry points:
+
+* ``plan(...) -> SweepPlan`` — the deterministic enumeration of every run
+  the experiment performs (pure data, runs nothing).  Because it is a
+  :class:`~repro.harness.distributed.SweepPlan`, any experiment can be
+  split over machines with ``python -m repro run <exp> --shard i/k``.
+* ``build_report(plan, aggregates) -> ExperimentReport`` — turns the
+  per-point :class:`~repro.harness.aggregate.RunAggregate` objects (from a
+  local execution or a shard merge) into the experiment's report.
+* ``run(...) -> ExperimentReport`` — convenience single-host path:
+  ``build_report(plan(...), run_plan(plan(...)))``, plus a ``main()`` that
+  prints it.
+
+The benchmark files under ``benchmarks/`` call ``run`` with small
+parameters, and ``docs/experiments.md`` records the paper claim next to a
+sample invocation for each experiment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
+from ..harness.distributed import SweepPlan, run_plan
 from ..harness.report import format_records
 
 
@@ -56,3 +69,17 @@ class ExperimentReport:
 def default_seeds(count: int, base: int = 1000) -> List[int]:
     """A deterministic list of ``count`` distinct seeds."""
     return [base + index for index in range(count)]
+
+
+def run_planned(
+    plan: SweepPlan,
+    build_report: Callable[[SweepPlan, Dict[str, Any]], ExperimentReport],
+    max_workers: Optional[int] = None,
+) -> ExperimentReport:
+    """Execute ``plan`` on this host and build its report.
+
+    The single-host path every driver's ``run()`` uses.  Executing the same
+    plan as shards and merging them yields bit-identical aggregates, so
+    ``build_report`` produces the identical report either way.
+    """
+    return build_report(plan, run_plan(plan, max_workers=max_workers))

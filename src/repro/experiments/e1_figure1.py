@@ -10,13 +10,13 @@ outcome's correctness.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..cluster.topology import ClusterTopology
-from ..harness.parallel import worker_pool
+from ..harness.aggregate import RunAggregate
+from ..harness.distributed import PlanPoint, SweepPlan
 from ..harness.runner import ExperimentConfig
-from ..harness.sweep import repeat
-from .common import ExperimentReport, default_seeds
+from .common import ExperimentReport, default_seeds, run_planned
 
 PAPER_CLAIM = (
     "Figure 1 shows two decompositions of 7 processes into 3 clusters; in the right one, "
@@ -25,46 +25,75 @@ PAPER_CLAIM = (
 )
 
 
-def run(
+def plan(
     seeds: Optional[Sequence[int]] = None,
     algorithms: Sequence[str] = ("hybrid-local-coin", "hybrid-common-coin"),
-    max_workers: Optional[int] = None,
-) -> ExperimentReport:
-    """Run both hybrid algorithms on both Figure 1 decompositions."""
+) -> SweepPlan:
+    """Enumerate both hybrid algorithms on both Figure 1 decompositions."""
     seeds = list(seeds) if seeds is not None else default_seeds(10)
+    decompositions = {
+        "figure1-left": ClusterTopology.figure1_left(),
+        "figure1-right": ClusterTopology.figure1_right(),
+    }
+    points, notes = [], []
+    for name, topology in decompositions.items():
+        notes.append(
+            f"{name}: {topology.describe()} (majority cluster: "
+            f"{topology.majority_cluster_index() is not None})"
+        )
+        for algorithm in algorithms:
+            points.append(
+                PlanPoint(
+                    label=f"{name}/{algorithm}",
+                    config=ExperimentConfig(topology=topology, algorithm=algorithm, proposals="split"),
+                    check=True,
+                    meta=dict(
+                        decomposition=name,
+                        algorithm=algorithm,
+                        n=topology.n,
+                        m=topology.m,
+                        majority_cluster=topology.majority_cluster_index() is not None,
+                    ),
+                )
+            )
+    return SweepPlan(
+        key="E1", seeds=seeds, points=points, experiment="e1", meta={"notes": notes}
+    )
+
+
+def build_report(plan: SweepPlan, aggregates: Mapping[str, RunAggregate]) -> ExperimentReport:
+    """Assemble the E1 report from per-point aggregates."""
     report = ExperimentReport(
         experiment_id="E1",
         title="Figure 1 cluster decompositions",
         paper_claim=PAPER_CLAIM,
     )
-    decompositions = {
-        "figure1-left": ClusterTopology.figure1_left(),
-        "figure1-right": ClusterTopology.figure1_right(),
-    }
-    with worker_pool(max_workers):
-        for name, topology in decompositions.items():
-            report.add_note(f"{name}: {topology.describe()} (majority cluster: "
-                            f"{topology.majority_cluster_index() is not None})")
-            for algorithm in algorithms:
-                config = ExperimentConfig(topology=topology, algorithm=algorithm, proposals="split")
-                aggregate = repeat(config, seeds, check=True, max_workers=max_workers)
-                report.add_row(
-                    decomposition=name,
-                    algorithm=algorithm,
-                    n=topology.n,
-                    m=topology.m,
-                    majority_cluster=topology.majority_cluster_index() is not None,
-                    termination_rate=aggregate.termination_rate(),
-                    mean_rounds=aggregate.mean("rounds_max"),
-                    mean_messages=aggregate.mean("messages_sent"),
-                    mean_sm_ops=aggregate.mean("sm_ops"),
-                )
+    for note in plan.meta["notes"]:
+        report.add_note(note)
+    for point in plan.points:
+        aggregate = aggregates[point.label]
+        report.add_row(
+            **point.meta,
+            termination_rate=aggregate.termination_rate(),
+            mean_rounds=aggregate.mean("rounds_max"),
+            mean_messages=aggregate.mean("messages_sent"),
+            mean_sm_ops=aggregate.mean("sm_ops"),
+        )
     report.passed = (
         all(row["termination_rate"] == 1.0 for row in report.rows)
         and ClusterTopology.figure1_right().majority_cluster_index() is not None
         and ClusterTopology.figure1_left().majority_cluster_index() is None
     )
     return report
+
+
+def run(
+    seeds: Optional[Sequence[int]] = None,
+    algorithms: Sequence[str] = ("hybrid-local-coin", "hybrid-common-coin"),
+    max_workers: Optional[int] = None,
+) -> ExperimentReport:
+    """Run both hybrid algorithms on both Figure 1 decompositions."""
+    return run_planned(plan(seeds=seeds, algorithms=algorithms), build_report, max_workers)
 
 
 def main() -> None:  # pragma: no cover - convenience entry point

@@ -11,15 +11,15 @@ cannot terminate.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..cluster.failures import FailurePattern
 from ..cluster.topology import ClusterTopology
-from ..harness.parallel import worker_pool
+from ..harness.aggregate import RunAggregate
+from ..harness.distributed import PlanPoint, SweepPlan
 from ..harness.runner import ExperimentConfig
-from ..harness.sweep import repeat
 from ..sim.kernel import SimConfig
-from .common import ExperimentReport, default_seeds
+from .common import ExperimentReport, default_seeds, run_planned
 
 PAPER_CLAIM = (
     "If a cluster contains a strict majority of processes and at least one of its members "
@@ -29,65 +29,86 @@ PAPER_CLAIM = (
 )
 
 
-def run(
+def plan(
     seeds: Optional[Sequence[int]] = None,
     sizes: Sequence[int] = (7, 11, 15),
     control_round_cap: int = 40,
-    max_workers: Optional[int] = None,
-) -> ExperimentReport:
-    """Headline scenario for several ``n``; Ben-Or control with the same crash count."""
+) -> SweepPlan:
+    """Enumerate the headline scenario per size, plus the Ben-Or control."""
     seeds = list(seeds) if seeds is not None else default_seeds(10)
+    points = []
+    for n in sizes:
+        topology = ClusterTopology.with_majority_cluster(n, others=2)
+        survivor = sorted(topology.cluster_members(topology.majority_cluster_index()))[0]
+        pattern = FailurePattern.majority_crash_with_surviving_majority_cluster(topology, survivor=survivor)
+        crash_count = pattern.crash_count()
+
+        for algorithm in ("hybrid-local-coin", "hybrid-common-coin"):
+            points.append(
+                PlanPoint(
+                    label=f"n={n}/{algorithm}",
+                    config=ExperimentConfig(
+                        topology=topology,
+                        algorithm=algorithm,
+                        proposals="split",
+                        failure_pattern=pattern,
+                    ),
+                    check=False,
+                    meta=dict(
+                        n=n,
+                        algorithm=algorithm,
+                        crashed=crash_count,
+                        crashed_majority=pattern.crashes_majority(n),
+                        control=False,
+                    ),
+                )
+            )
+
+        control_pattern = FailurePattern.crash_set(
+            sorted(set(range(n)) - {survivor})[:crash_count], time=0.0
+        )
+        points.append(
+            PlanPoint(
+                label=f"n={n}/ben-or-control",
+                config=ExperimentConfig(
+                    topology=topology,
+                    algorithm="ben-or",
+                    proposals="split",
+                    failure_pattern=control_pattern,
+                    sim=SimConfig(max_rounds=control_round_cap, max_time=5e4),
+                ),
+                check=False,
+                meta=dict(
+                    n=n,
+                    algorithm="ben-or (control)",
+                    crashed=control_pattern.crash_count(),
+                    crashed_majority=control_pattern.crashes_majority(n),
+                    control=True,
+                ),
+            )
+        )
+    return SweepPlan(key="E2", seeds=seeds, points=points, experiment="e2")
+
+
+def build_report(plan: SweepPlan, aggregates: Mapping[str, RunAggregate]) -> ExperimentReport:
+    """Assemble the E2 report from per-point aggregates."""
     report = ExperimentReport(
         experiment_id="E2",
         title="Majority crash with a surviving majority-cluster member",
         paper_claim=PAPER_CLAIM,
     )
-    with worker_pool(max_workers):
-        for n in sizes:
-            topology = ClusterTopology.with_majority_cluster(n, others=2)
-            survivor = sorted(topology.cluster_members(topology.majority_cluster_index()))[0]
-            pattern = FailurePattern.majority_crash_with_surviving_majority_cluster(topology, survivor=survivor)
-            crash_count = pattern.crash_count()
-
-            for algorithm in ("hybrid-local-coin", "hybrid-common-coin"):
-                config = ExperimentConfig(
-                    topology=topology,
-                    algorithm=algorithm,
-                    proposals="split",
-                    failure_pattern=pattern,
-                )
-                aggregate = repeat(config, seeds, check=False, max_workers=max_workers)
-                report.add_row(
-                    n=n,
-                    algorithm=algorithm,
-                    crashed=crash_count,
-                    crashed_majority=pattern.crashes_majority(n),
-                    termination_rate=aggregate.termination_rate(),
-                    safety_rate=aggregate.safety_rate(),
-                    mean_rounds=aggregate.mean("rounds_max"),
-                )
-
-            # Control: Ben-Or under a crash of the same cardinality cannot terminate.
-            control_pattern = FailurePattern.crash_set(
-                sorted(set(range(n)) - {survivor})[: crash_count], time=0.0
-            )
-            control_config = ExperimentConfig(
-                topology=topology,
-                algorithm="ben-or",
-                proposals="split",
-                failure_pattern=control_pattern,
-                sim=SimConfig(max_rounds=control_round_cap, max_time=5e4),
-            )
-            control_aggregate = repeat(control_config, seeds, check=False, max_workers=max_workers)
-            report.add_row(
-                n=n,
-                algorithm="ben-or (control)",
-                crashed=control_pattern.crash_count(),
-                crashed_majority=control_pattern.crashes_majority(n),
-                termination_rate=control_aggregate.termination_rate(),
-                safety_rate=control_aggregate.safety_rate(),
-                mean_rounds=float("nan"),
-            )
+    for point in plan.points:
+        aggregate = aggregates[point.label]
+        meta = point.meta
+        report.add_row(
+            n=meta["n"],
+            algorithm=meta["algorithm"],
+            crashed=meta["crashed"],
+            crashed_majority=meta["crashed_majority"],
+            termination_rate=aggregate.termination_rate(),
+            safety_rate=aggregate.safety_rate(),
+            mean_rounds=float("nan") if meta["control"] else aggregate.mean("rounds_max"),
+        )
 
     hybrid_rows = [row for row in report.rows if row["algorithm"].startswith("hybrid")]
     control_rows = [row for row in report.rows if row["algorithm"].startswith("ben-or")]
@@ -100,6 +121,20 @@ def run(
         "terminates under the same number of crashes but never violates safety (indulgence)."
     )
     return report
+
+
+def run(
+    seeds: Optional[Sequence[int]] = None,
+    sizes: Sequence[int] = (7, 11, 15),
+    control_round_cap: int = 40,
+    max_workers: Optional[int] = None,
+) -> ExperimentReport:
+    """Headline scenario for several ``n``; Ben-Or control with the same crash count."""
+    return run_planned(
+        plan(seeds=seeds, sizes=sizes, control_round_cap=control_round_cap),
+        build_report,
+        max_workers,
+    )
 
 
 def main() -> None:  # pragma: no cover

@@ -10,14 +10,14 @@ failure-free execution.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..cluster.failures import FailurePattern
 from ..cluster.topology import ClusterTopology
-from ..harness.parallel import worker_pool
+from ..harness.aggregate import RunAggregate
+from ..harness.distributed import PlanPoint, SweepPlan
 from ..harness.runner import ExperimentConfig
-from ..harness.sweep import repeat
-from .common import ExperimentReport, default_seeds
+from .common import ExperimentReport, default_seeds, run_planned
 
 PAPER_CLAIM = (
     "If all processes of a cluster crash except one, the surviving process acts as if all the "
@@ -26,20 +26,14 @@ PAPER_CLAIM = (
 )
 
 
-def run(
+def plan(
     seeds: Optional[Sequence[int]] = None,
     n: int = 9,
     m: int = 3,
     algorithms: Sequence[str] = ("hybrid-local-coin", "hybrid-common-coin"),
-    max_workers: Optional[int] = None,
-) -> ExperimentReport:
-    """Compare failure-free runs with 'one survivor per cluster' runs."""
+) -> SweepPlan:
+    """Enumerate failure-free vs 'one survivor per cluster' runs."""
     seeds = list(seeds) if seeds is not None else default_seeds(10)
-    report = ExperimentReport(
-        experiment_id="E3",
-        title="One survivor per cluster behaves like a full cluster",
-        paper_claim=PAPER_CLAIM,
-    )
     topology = ClusterTopology.even_split(n, m)
 
     lone_survivors = FailurePattern.none()
@@ -51,35 +45,62 @@ def run(
         "failure-free": FailurePattern.none(),
         "one-survivor-per-cluster": lone_survivors,
     }
-    report.add_note(
+    notes = [
         f"topology {topology.describe()}; the survivor scenario crashes "
         f"{lone_survivors.crash_count()} of {n} processes "
         f"({'a majority' if lone_survivors.crashes_majority(n) else 'a minority'})"
+    ]
+    points = []
+    for algorithm in algorithms:
+        for scenario_name, pattern in scenarios.items():
+            points.append(
+                PlanPoint(
+                    label=f"{algorithm}/{scenario_name}",
+                    config=ExperimentConfig(
+                        topology=topology,
+                        algorithm=algorithm,
+                        proposals="split",
+                        failure_pattern=pattern,
+                    ),
+                    check=True,
+                    meta=dict(
+                        algorithm=algorithm,
+                        scenario=scenario_name,
+                        crashed=pattern.crash_count(),
+                    ),
+                )
+            )
+    return SweepPlan(
+        key="E3",
+        seeds=seeds,
+        points=points,
+        experiment="e3",
+        meta={"notes": notes, "algorithms": list(algorithms)},
     )
 
-    with worker_pool(max_workers):
-        for algorithm in algorithms:
-            for scenario_name, pattern in scenarios.items():
-                config = ExperimentConfig(
-                    topology=topology,
-                    algorithm=algorithm,
-                    proposals="split",
-                    failure_pattern=pattern,
-                )
-                aggregate = repeat(config, seeds, check=True, max_workers=max_workers)
-                report.add_row(
-                    algorithm=algorithm,
-                    scenario=scenario_name,
-                    crashed=pattern.crash_count(),
-                    termination_rate=aggregate.termination_rate(),
-                    mean_rounds=aggregate.mean("rounds_max"),
-                    mean_messages=aggregate.mean("messages_sent"),
-                )
+
+def build_report(plan: SweepPlan, aggregates: Mapping[str, RunAggregate]) -> ExperimentReport:
+    """Assemble the E3 report from per-point aggregates."""
+    report = ExperimentReport(
+        experiment_id="E3",
+        title="One survivor per cluster behaves like a full cluster",
+        paper_claim=PAPER_CLAIM,
+    )
+    for note in plan.meta["notes"]:
+        report.add_note(note)
+    for point in plan.points:
+        aggregate = aggregates[point.label]
+        report.add_row(
+            **point.meta,
+            termination_rate=aggregate.termination_rate(),
+            mean_rounds=aggregate.mean("rounds_max"),
+            mean_messages=aggregate.mean("messages_sent"),
+        )
 
     # The reproduction check: survivors always terminate, and their round count
     # stays in the same ballpark as the failure-free runs (within a factor 3).
     passed = True
-    for algorithm in algorithms:
+    for algorithm in plan.meta["algorithms"]:
         free = report.row_where(algorithm=algorithm, scenario="failure-free")
         lone = report.row_where(algorithm=algorithm, scenario="one-survivor-per-cluster")
         if lone["termination_rate"] != 1.0 or free["termination_rate"] != 1.0:
@@ -88,6 +109,17 @@ def run(
             passed = False
     report.passed = passed
     return report
+
+
+def run(
+    seeds: Optional[Sequence[int]] = None,
+    n: int = 9,
+    m: int = 3,
+    algorithms: Sequence[str] = ("hybrid-local-coin", "hybrid-common-coin"),
+    max_workers: Optional[int] = None,
+) -> ExperimentReport:
+    """Compare failure-free runs with 'one survivor per cluster' runs."""
+    return run_planned(plan(seeds=seeds, n=n, m=m, algorithms=algorithms), build_report, max_workers)
 
 
 def main() -> None:  # pragma: no cover

@@ -10,13 +10,13 @@ several system sizes and cluster counts.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..cluster.topology import ClusterTopology
-from ..harness.parallel import worker_pool
+from ..harness.aggregate import RunAggregate
+from ..harness.distributed import PlanPoint, SweepPlan
 from ..harness.runner import ExperimentConfig
-from ..harness.sweep import repeat
-from .common import ExperimentReport, default_seeds
+from .common import ExperimentReport, default_seeds, run_planned
 
 PAPER_CLAIM = (
     "Algorithm 2 extends Ben-Or (expected constant rounds, 1 round on unanimous inputs); "
@@ -25,44 +25,52 @@ PAPER_CLAIM = (
 )
 
 
-def run(
+def plan(
     seeds: Optional[Sequence[int]] = None,
     sizes: Sequence[int] = (6, 12),
     cluster_counts: Sequence[int] = (3,),
     proposals: Sequence[str] = ("unanimous-1", "split"),
-    max_workers: Optional[int] = None,
-) -> ExperimentReport:
-    """Rounds-to-decide for both hybrid algorithms, by input pattern and size."""
+) -> SweepPlan:
+    """Enumerate both hybrid algorithms by input pattern, size and cluster count."""
     seeds = list(seeds) if seeds is not None else default_seeds(30)
+    points = []
+    for n in sizes:
+        for m in cluster_counts:
+            if m > n:
+                continue
+            topology = ClusterTopology.even_split(n, m)
+            for algorithm in ("hybrid-local-coin", "hybrid-common-coin"):
+                for proposal in proposals:
+                    points.append(
+                        PlanPoint(
+                            label=f"n={n},m={m}/{algorithm}/{proposal}",
+                            config=ExperimentConfig(
+                                topology=topology,
+                                algorithm=algorithm,
+                                proposals=proposal,
+                            ),
+                            check=True,
+                            meta=dict(n=n, m=m, algorithm=algorithm, proposals=proposal),
+                        )
+                    )
+    return SweepPlan(key="E4", seeds=seeds, points=points, experiment="e4")
+
+
+def build_report(plan: SweepPlan, aggregates: Mapping[str, RunAggregate]) -> ExperimentReport:
+    """Assemble the E4 report from per-point aggregates."""
     report = ExperimentReport(
         experiment_id="E4",
         title="Expected rounds to decision",
         paper_claim=PAPER_CLAIM,
     )
-    with worker_pool(max_workers):
-        for n in sizes:
-            for m in cluster_counts:
-                if m > n:
-                    continue
-                topology = ClusterTopology.even_split(n, m)
-                for algorithm in ("hybrid-local-coin", "hybrid-common-coin"):
-                    for proposal in proposals:
-                        config = ExperimentConfig(
-                            topology=topology,
-                            algorithm=algorithm,
-                            proposals=proposal,
-                        )
-                        aggregate = repeat(config, seeds, check=True, max_workers=max_workers)
-                        stats = aggregate.summary("rounds_max")
-                        report.add_row(
-                            n=n,
-                            m=m,
-                            algorithm=algorithm,
-                            proposals=proposal,
-                            mean_rounds=stats.mean,
-                            median_rounds=stats.median,
-                            max_rounds=stats.maximum,
-                        )
+    for point in plan.points:
+        stats = aggregates[point.label].summary("rounds_max")
+        report.add_row(
+            **point.meta,
+            mean_rounds=stats.mean,
+            median_rounds=stats.median,
+            max_rounds=stats.maximum,
+        )
 
     # Reproduction checks:
     #  - unanimous inputs: Algorithm 2 decides in exactly 1 round;
@@ -85,6 +93,21 @@ def run(
         "geometric(1/2) distribution, i.e. 2; the measured mean should sit near that value."
     )
     return report
+
+
+def run(
+    seeds: Optional[Sequence[int]] = None,
+    sizes: Sequence[int] = (6, 12),
+    cluster_counts: Sequence[int] = (3,),
+    proposals: Sequence[str] = ("unanimous-1", "split"),
+    max_workers: Optional[int] = None,
+) -> ExperimentReport:
+    """Rounds-to-decide for both hybrid algorithms, by input pattern and size."""
+    return run_planned(
+        plan(seeds=seeds, sizes=sizes, cluster_counts=cluster_counts, proposals=proposals),
+        build_report,
+        max_workers,
+    )
 
 
 def main() -> None:  # pragma: no cover

@@ -16,15 +16,15 @@ measured per-phase counts next to the model predictions.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..cluster.topology import ClusterTopology
-from ..harness.parallel import worker_pool
+from ..harness.aggregate import RunAggregate
+from ..harness.distributed import PlanPoint, SweepPlan
 from ..harness.runner import ExperimentConfig
 from ..harness.stats import mean as _mean
-from ..harness.sweep import repeat
 from ..mm.domain import SharedMemoryDomain
-from .common import ExperimentReport, default_seeds
+from .common import ExperimentReport, default_seeds, run_planned
 
 PAPER_CLAIM = (
     "Per phase of a round, the hybrid model touches m shared-memory consensus objects and each "
@@ -33,54 +33,73 @@ PAPER_CLAIM = (
 )
 
 
-def run(
+def plan(
     seeds: Optional[Sequence[int]] = None,
     sizes: Sequence[int] = (8, 12),
     cluster_counts: Sequence[int] = (2, 4),
-    max_workers: Optional[int] = None,
-) -> ExperimentReport:
-    """Hybrid vs m&m per-phase shared-memory cost on matched structures."""
+) -> SweepPlan:
+    """Enumerate hybrid vs m&m runs on matched sharing structures."""
     seeds = list(seeds) if seeds is not None else default_seeds(8)
+    points = []
+    for n in sizes:
+        for m in cluster_counts:
+            if m > n:
+                continue
+            topology = ClusterTopology.even_split(n, m)
+            domain = SharedMemoryDomain.from_cluster_topology(topology)
+            predicted_mm_invocations = _mean(
+                [domain.degree(pid) + 1 for pid in domain.process_ids()]
+            )
+            configs = {
+                "hybrid-local-coin": ExperimentConfig(
+                    topology=topology, algorithm="hybrid-local-coin", proposals="split"
+                ),
+                "mm-local-coin": ExperimentConfig(
+                    topology=topology, algorithm="mm-local-coin", proposals="split", mm_domain=domain
+                ),
+            }
+            for label, config in configs.items():
+                hybrid = label.startswith("hybrid")
+                points.append(
+                    PlanPoint(
+                        label=f"n={n},m={m}/{label}",
+                        config=config,
+                        check=True,
+                        meta=dict(
+                            n=n,
+                            m=m,
+                            model=label,
+                            predicted_objects=float(topology.m if hybrid else topology.n),
+                            predicted_invocations=1.0 if hybrid else predicted_mm_invocations,
+                        ),
+                    )
+                )
+    return SweepPlan(key="E5", seeds=seeds, points=points, experiment="e5")
+
+
+def build_report(plan: SweepPlan, aggregates: Mapping[str, RunAggregate]) -> ExperimentReport:
+    """Assemble the E5 report from per-point aggregates."""
     report = ExperimentReport(
         experiment_id="E5",
         title="Hybrid model vs m&m model: shared-memory cost per phase",
         paper_claim=PAPER_CLAIM,
     )
-    with worker_pool(max_workers):
-        for n in sizes:
-            for m in cluster_counts:
-                if m > n:
-                    continue
-                topology = ClusterTopology.even_split(n, m)
-                domain = SharedMemoryDomain.from_cluster_topology(topology)
-                predicted_mm_invocations = _mean(
-                    [domain.degree(pid) + 1 for pid in domain.process_ids()]
-                )
-                configs = {
-                    "hybrid-local-coin": ExperimentConfig(
-                        topology=topology, algorithm="hybrid-local-coin", proposals="split"
-                    ),
-                    "mm-local-coin": ExperimentConfig(
-                        topology=topology, algorithm="mm-local-coin", proposals="split", mm_domain=domain
-                    ),
-                }
-                for label, config in configs.items():
-                    aggregate = repeat(config, seeds, check=True, max_workers=max_workers)
-                    predicted_objects = topology.m if label.startswith("hybrid") else topology.n
-                    predicted_invocations = 1.0 if label.startswith("hybrid") else predicted_mm_invocations
-                    report.add_row(
-                        n=n,
-                        m=m,
-                        model=label,
-                        objects_per_phase=aggregate.mean("consensus_objects_per_phase"),
-                        predicted_objects_per_phase=float(predicted_objects),
-                        invocations_per_process_per_phase=aggregate.mean(
-                            "invocations_per_process_per_phase"
-                        ),
-                        predicted_invocations_per_process=float(predicted_invocations),
-                        mean_rounds=aggregate.mean("rounds_max"),
-                        mean_messages=aggregate.mean("messages_sent"),
-                    )
+    for point in plan.points:
+        aggregate = aggregates[point.label]
+        meta = point.meta
+        report.add_row(
+            n=meta["n"],
+            m=meta["m"],
+            model=meta["model"],
+            objects_per_phase=aggregate.mean("consensus_objects_per_phase"),
+            predicted_objects_per_phase=meta["predicted_objects"],
+            invocations_per_process_per_phase=aggregate.mean(
+                "invocations_per_process_per_phase"
+            ),
+            predicted_invocations_per_process=meta["predicted_invocations"],
+            mean_rounds=aggregate.mean("rounds_max"),
+            mean_messages=aggregate.mean("messages_sent"),
+        )
 
     # The measured per-phase counts should match the model predictions to
     # within 25% (slow processes may not touch the last round's objects).
@@ -96,6 +115,18 @@ def run(
                 passed = False
     report.passed = passed
     return report
+
+
+def run(
+    seeds: Optional[Sequence[int]] = None,
+    sizes: Sequence[int] = (8, 12),
+    cluster_counts: Sequence[int] = (2, 4),
+    max_workers: Optional[int] = None,
+) -> ExperimentReport:
+    """Hybrid vs m&m per-phase shared-memory cost on matched structures."""
+    return run_planned(
+        plan(seeds=seeds, sizes=sizes, cluster_counts=cluster_counts), build_report, max_workers
+    )
 
 
 def main() -> None:  # pragma: no cover

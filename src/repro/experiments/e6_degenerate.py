@@ -11,13 +11,13 @@ shared-memory baseline, and compares their cost profiles.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..cluster.topology import ClusterTopology
-from ..harness.parallel import worker_pool
+from ..harness.aggregate import RunAggregate
+from ..harness.distributed import PlanPoint, SweepPlan
 from ..harness.runner import ExperimentConfig
-from ..harness.sweep import repeat
-from .common import ExperimentReport, default_seeds
+from .common import ExperimentReport, default_seeds, run_planned
 
 PAPER_CLAIM = (
     "With one process per cluster the hybrid model is the classical message-passing model and "
@@ -26,18 +26,9 @@ PAPER_CLAIM = (
 )
 
 
-def run(
-    seeds: Optional[Sequence[int]] = None,
-    n: int = 7,
-    max_workers: Optional[int] = None,
-) -> ExperimentReport:
-    """Compare degenerate hybrid configurations with the corresponding baselines."""
+def plan(seeds: Optional[Sequence[int]] = None, n: int = 7) -> SweepPlan:
+    """Enumerate the degenerate hybrid configurations and their baselines."""
     seeds = list(seeds) if seeds is not None else default_seeds(20)
-    report = ExperimentReport(
-        experiment_id="E6",
-        title="Degenerate configurations: m = n and m = 1",
-        paper_claim=PAPER_CLAIM,
-    )
     singleton = ClusterTopology.singleton_clusters(n)
     single = ClusterTopology.single_cluster(n)
     configs = {
@@ -57,17 +48,34 @@ def run(
             topology=single, algorithm="shared-memory", proposals="split"
         ),
     }
-    with worker_pool(max_workers):
-        for label, config in configs.items():
-            aggregate = repeat(config, seeds, check=True, max_workers=max_workers)
-            report.add_row(
-                configuration=label,
-                n=n,
-                mean_rounds=aggregate.mean("rounds_max"),
-                mean_messages=aggregate.mean("messages_sent"),
-                mean_sm_ops=aggregate.mean("sm_ops"),
-                mean_decision_time=aggregate.mean("decision_time_max"),
-            )
+    points = [
+        PlanPoint(
+            label=label,
+            config=config,
+            check=True,
+            meta=dict(configuration=label, n=n),
+        )
+        for label, config in configs.items()
+    ]
+    return SweepPlan(key="E6", seeds=seeds, points=points, experiment="e6")
+
+
+def build_report(plan: SweepPlan, aggregates: Mapping[str, RunAggregate]) -> ExperimentReport:
+    """Assemble the E6 report from per-point aggregates."""
+    report = ExperimentReport(
+        experiment_id="E6",
+        title="Degenerate configurations: m = n and m = 1",
+        paper_claim=PAPER_CLAIM,
+    )
+    for point in plan.points:
+        aggregate = aggregates[point.label]
+        report.add_row(
+            **point.meta,
+            mean_rounds=aggregate.mean("rounds_max"),
+            mean_messages=aggregate.mean("messages_sent"),
+            mean_sm_ops=aggregate.mean("sm_ops"),
+            mean_decision_time=aggregate.mean("decision_time_max"),
+        )
 
     singleton_hybrid = report.row_where(configuration="hybrid m=n (singleton clusters)")
     ben_or = report.row_where(configuration="ben-or (pure message passing)")
@@ -94,6 +102,15 @@ def run(
         "and the message exchange is pure overhead compared to the shared-memory baseline."
     )
     return report
+
+
+def run(
+    seeds: Optional[Sequence[int]] = None,
+    n: int = 7,
+    max_workers: Optional[int] = None,
+) -> ExperimentReport:
+    """Compare degenerate hybrid configurations with the corresponding baselines."""
+    return run_planned(plan(seeds=seeds, n=n), build_report, max_workers)
 
 
 def main() -> None:  # pragma: no cover

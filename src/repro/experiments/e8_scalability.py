@@ -15,14 +15,14 @@ Two parts:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from ..cluster.topology import ClusterTopology
-from ..harness.parallel import worker_pool
+from ..harness.aggregate import RunAggregate
+from ..harness.distributed import PlanPoint, SweepPlan
 from ..harness.runner import ExperimentConfig
-from ..harness.sweep import repeat
 from ..mm.domain import SharedMemoryDomain
-from .common import ExperimentReport, default_seeds
+from .common import ExperimentReport, default_seeds, run_planned
 
 PAPER_CLAIM = (
     "Figure 2 / appendix: the uniform domain of the 5-process example is "
@@ -47,14 +47,37 @@ def figure2_domain_matches() -> bool:
     return SharedMemoryDomain.figure2().domain() == FIGURE2_EXPECTED_DOMAIN
 
 
-def run(
+def plan(
     seeds: Optional[Sequence[int]] = None,
     sizes: Sequence[int] = (4, 8, 12, 16),
     algorithm: str = "hybrid-local-coin",
-    max_workers: Optional[int] = None,
-) -> ExperimentReport:
-    """Reconstruct Figure 2 and sweep n and m for the scalability trade-off."""
+) -> SweepPlan:
+    """Enumerate the n x cluster-layout scalability sweep."""
     seeds = list(seeds) if seeds is not None else default_seeds(8)
+    points = []
+    for n in sizes:
+        layouts: Dict[str, ClusterTopology] = {
+            "m=1": ClusterTopology.single_cluster(n),
+            "m=2": ClusterTopology.even_split(n, 2),
+            "m=n/2": ClusterTopology.even_split(n, max(2, n // 2)),
+            "m=n": ClusterTopology.singleton_clusters(n),
+        }
+        for layout_name, topology in layouts.items():
+            points.append(
+                PlanPoint(
+                    label=f"n={n}/{layout_name}",
+                    config=ExperimentConfig(topology=topology, algorithm=algorithm, proposals="split"),
+                    check=True,
+                    meta=dict(n=n, layout=layout_name, m=topology.m),
+                )
+            )
+    return SweepPlan(
+        key="E8", seeds=seeds, points=points, experiment="e8", meta={"sizes": list(sizes)}
+    )
+
+
+def build_report(plan: SweepPlan, aggregates: Mapping[str, RunAggregate]) -> ExperimentReport:
+    """Assemble the E8 report from per-point aggregates."""
     report = ExperimentReport(
         experiment_id="E8",
         title="Figure 2 domain and the scalability trade-off",
@@ -65,26 +88,15 @@ def run(
     report.add_note(f"figure-2 domain reconstructed: {domain.describe()}")
     report.add_note(f"figure-2 domain matches the appendix: {figure2_ok}")
 
-    with worker_pool(max_workers):
-        for n in sizes:
-            layouts: Dict[str, ClusterTopology] = {
-                "m=1": ClusterTopology.single_cluster(n),
-                "m=2": ClusterTopology.even_split(n, 2),
-                "m=n/2": ClusterTopology.even_split(n, max(2, n // 2)),
-                "m=n": ClusterTopology.singleton_clusters(n),
-            }
-            for layout_name, topology in layouts.items():
-                config = ExperimentConfig(topology=topology, algorithm=algorithm, proposals="split")
-                aggregate = repeat(config, seeds, check=True, max_workers=max_workers)
-                report.add_row(
-                    n=n,
-                    layout=layout_name,
-                    m=topology.m,
-                    mean_messages=aggregate.mean("messages_sent"),
-                    mean_sm_ops=aggregate.mean("sm_ops"),
-                    mean_rounds=aggregate.mean("rounds_max"),
-                    mean_decision_time=aggregate.mean("decision_time_max"),
-                )
+    for point in plan.points:
+        aggregate = aggregates[point.label]
+        report.add_row(
+            **point.meta,
+            mean_messages=aggregate.mean("messages_sent"),
+            mean_sm_ops=aggregate.mean("sm_ops"),
+            mean_rounds=aggregate.mean("rounds_max"),
+            mean_decision_time=aggregate.mean("decision_time_max"),
+        )
 
     # Reproduction checks: the Figure 2 domain matches, and for every n the
     # m=1 layout needs fewer messages and fewer rounds than the m=n layout
@@ -92,7 +104,7 @@ def run(
     # shared-memory operations per run than m=1 needs messages -- i.e. the
     # two resources trade off monotonically at the extremes.
     passed = figure2_ok
-    for n in sizes:
+    for n in plan.meta["sizes"]:
         single = report.row_where(n=n, layout="m=1")
         singleton = report.row_where(n=n, layout="m=n")
         if single["mean_messages"] > singleton["mean_messages"]:
@@ -101,6 +113,18 @@ def run(
             passed = False
     report.passed = passed
     return report
+
+
+def run(
+    seeds: Optional[Sequence[int]] = None,
+    sizes: Sequence[int] = (4, 8, 12, 16),
+    algorithm: str = "hybrid-local-coin",
+    max_workers: Optional[int] = None,
+) -> ExperimentReport:
+    """Reconstruct Figure 2 and sweep n and m for the scalability trade-off."""
+    return run_planned(
+        plan(seeds=seeds, sizes=sizes, algorithm=algorithm), build_report, max_workers
+    )
 
 
 def main() -> None:  # pragma: no cover

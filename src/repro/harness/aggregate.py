@@ -51,6 +51,18 @@ SKETCH_CAPACITY = 512
 
 
 # --------------------------------------------------------------- RNG streams
+def priority_backend() -> str:
+    """Which implementation backs :func:`run_priority` on this host.
+
+    The two backends are individually deterministic but produce different
+    priorities for the same run index, so artifacts keyed by priorities
+    (sharded-sweep checkpoints) record the backend and refuse to mix --
+    merging numpy-host shards with numpy-free-host shards would otherwise
+    silently break bit-identity with the single-host sweep.
+    """
+    return "numpy-seedsequence" if _SeedSequence is not None else "sha256"
+
+
 def run_priority(entropy: int, index: int) -> float:
     """Deterministic uniform priority in [0, 1) for run ``index``.
 
@@ -159,6 +171,7 @@ class StreamingStats:
         return merged
 
     def copy(self) -> "StreamingStats":
+        """An independent copy (the sketch list is not shared)."""
         return StreamingStats(
             capacity=self.capacity,
             count=self.count,
@@ -179,6 +192,7 @@ class StreamingStats:
 
     @property
     def std(self) -> float:
+        """Unbiased sample standard deviation."""
         return math.sqrt(max(self.variance, 0.0))
 
     @property
@@ -236,6 +250,7 @@ class RunSummary:
 
     @classmethod
     def from_result(cls, result: "RunResult", index: int, priority: float) -> "RunSummary":
+        """Digest one full :class:`~.runner.RunResult` into a summary."""
         from .metrics import numeric_metric_values
 
         return cls(
@@ -272,11 +287,23 @@ class SummaryReducer:
     ``entropy`` seeds the per-run priority streams; the default of 0 keeps
     summaries comparable across sweeps (the sketch keeps the same run
     indices for every metric and every sweep point).
+
+    ``start`` and ``step`` remap the batch position ``t`` that
+    :func:`~.parallel.run_many` hands the reducer to the run's *logical*
+    index ``start + t * step``.  The defaults are the identity, which is what
+    a whole batch executed in one place wants.  A shard of a larger sweep
+    (see :mod:`~repro.harness.distributed`) executes an index-strided subset
+    of the batch, and uses the remap so every run keeps the priority it
+    would have had in the unsharded execution -- the property that makes
+    merged shard aggregates bit-identical to the single-host sweep.
     """
 
     entropy: int = 0
+    start: int = 0
+    step: int = 1
 
     def __call__(self, result: "RunResult", index: int) -> RunSummary:
+        index = self.start + index * self.step
         return RunSummary.from_result(result, index, run_priority(self.entropy, index))
 
 
@@ -299,6 +326,7 @@ class RunAggregate:
 
     # ------------------------------------------------------------- ingestion
     def add(self, summary: RunSummary) -> None:
+        """Fold one run summary into the counters and per-metric stats."""
         self.count += 1
         self.terminated_count += 1 if summary.terminated else 0
         self.safe_count += 1 if summary.safety_ok else 0
@@ -350,6 +378,7 @@ class RunAggregate:
         return self.count
 
     def metric_names(self) -> List[str]:
+        """The aggregated metric names, sorted."""
         return sorted(self.stats)
 
     def _stat(self, metric: str) -> StreamingStats:
@@ -361,28 +390,37 @@ class RunAggregate:
             ) from None
 
     def mean(self, metric: str) -> float:
+        """Mean of one aggregated metric."""
         return self._stat(metric).mean
 
     def std(self, metric: str) -> float:
+        """Sample standard deviation of one aggregated metric."""
         return self._stat(metric).std
 
     def minimum(self, metric: str) -> float:
+        """Smallest observed value of one aggregated metric."""
         return self._stat(metric).minimum
 
     def maximum(self, metric: str) -> float:
+        """Largest observed value of one aggregated metric."""
         return self._stat(metric).maximum
 
     def percentile(self, metric: str, q: float) -> float:
+        """Estimated ``q``-th percentile of one aggregated metric."""
         return self._stat(metric).percentile(q)
 
     def summary(self, metric: str) -> SummaryStats:
+        """The :class:`~.stats.SummaryStats` view of one aggregated metric."""
         return self._stat(metric).to_summary_stats()
 
     def termination_rate(self) -> float:
+        """Fraction of runs in which every correct process decided."""
         return self.terminated_count / self.count if self.count else 0.0
 
     def safety_rate(self) -> float:
+        """Fraction of runs whose safety properties all held."""
         return self.safe_count / self.count if self.count else 0.0
 
     def decided_rate(self) -> float:
+        """Fraction of runs in which at least one process decided."""
         return self.decided_count / self.count if self.count else 0.0

@@ -1,0 +1,641 @@
+"""Sharded sweep execution: split one sweep over machines, checkpoint, merge.
+
+:class:`~repro.harness.aggregate.RunAggregate` made cross-host reduction
+*possible*; this module makes it *practical*.  A :class:`SweepPlan` is the
+deterministic enumeration of every run of a sweep (every point of the sweep
+under every seed).  Any host can execute one :class:`ShardSpec` worth of that
+plan with :func:`run_shard` -- writing a versioned JSON manifest plus one
+pickled checkpoint per completed sweep point, so a killed shard resumes from
+its last checkpoint instead of restarting -- and :func:`merge_shards` folds
+the per-shard outputs back into aggregates *bit-identical* to the single-host
+execution of the same plan.
+
+How bit-identity is achieved
+----------------------------
+Shards split the plan round-robin by run index, and every run keeps the
+summary index (and therefore the ``SeedSequence(entropy, spawn_key=(index,))``
+sketch priority) it would have had in the unsharded execution -- shard
+boundaries never change any per-run value.  Merging does **not** use the
+Chan-style :meth:`~repro.harness.aggregate.StreamingStats.merge` (floating
+point makes a pairwise moment merge differ from a sequential fold in the last
+bits); instead the checkpoints carry the raw per-run
+:class:`~repro.harness.aggregate.RunSummary` objects (~1 KB each), and
+:func:`merge_shards` re-folds them in run-index order through the exact code
+path (:meth:`RunAggregate.from_summaries`) the single-host sweep uses.  The
+streaming ``merge`` remains the right tool for *approximate* online
+reduction; the checkpoint re-fold is what makes ``shard + merge == sweep``
+an equality, not an approximation.
+
+Index schemes
+-------------
+``indexing="per-point"`` numbers runs 0..len(seeds)-1 within each point --
+what :func:`~repro.harness.sweep.repeat` does, and what the experiment
+drivers build their plans with.  ``indexing="global"`` numbers runs across
+the whole batch -- what :func:`~repro.harness.sweep.sweep` and
+:func:`~repro.harness.sweep.grid` do.  Plans built by :func:`plan_repeat`,
+:func:`plan_sweep` and :func:`plan_grid` pick the scheme matching their
+single-host counterpart, so either route merges to the bit-identical result.
+
+On-disk layout (all under the ``--out`` directory)::
+
+    shard-2of4.json            manifest: version, plan fingerprint, progress
+    shard-2of4-point-0003.pkl  checkpoint: RunSummary list for point 3
+
+Every artifact embeds :data:`MANIFEST_VERSION` and the plan's fingerprint;
+:func:`merge_shards` refuses mixed versions, mixed plans, missing shards and
+incomplete shards with errors that say which file is at fault.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .aggregate import (
+    SKETCH_CAPACITY,
+    RunAggregate,
+    RunSummary,
+    SummaryReducer,
+    priority_backend,
+)
+from .parallel import run_many, worker_pool
+from .runner import ExperimentConfig
+from .sweep import SweepPoint, SweepResult, grid_points, variation_points
+
+#: Version stamped into every manifest and checkpoint this module writes.
+#: Readers reject any other version, so stale artifacts fail loudly instead
+#: of merging garbage.
+MANIFEST_VERSION = 1
+
+#: The two run-numbering schemes a plan can use (see the module docstring).
+INDEXING_SCHEMES = ("per-point", "global")
+
+_MANIFEST_RE = re.compile(r"^shard-(\d+)of(\d+)\.json$")
+
+
+class ShardError(ValueError):
+    """A shard specification, plan or shard artifact is unusable."""
+
+
+class ManifestError(ShardError):
+    """A manifest or checkpoint is malformed, mismatched or incomplete."""
+
+
+# ---------------------------------------------------------------- shard spec
+@dataclass(frozen=True)
+class ShardSpec:
+    """One slice ``index/count`` of a plan (1-based, ``1/1`` = everything)."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ShardError(f"shard count must be >= 1, got {self.count}")
+        if not 1 <= self.index <= self.count:
+            raise ShardError(
+                f"shard index must be in 1..{self.count}, got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI form ``"i/k"`` (e.g. ``"2/4"``) into a spec."""
+        match = re.fullmatch(r"\s*(\d+)\s*/\s*(\d+)\s*", text)
+        if not match:
+            raise ShardError(
+                f"shard must look like I/K (e.g. 2/4), got {text!r}"
+            )
+        return cls(index=int(match.group(1)), count=int(match.group(2)))
+
+    def owns(self, position: int) -> bool:
+        """Whether this shard executes the run at batch ``position``."""
+        return position % self.count == self.index - 1
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+# --------------------------------------------------------------------- plans
+@dataclass(frozen=True)
+class PlanPoint:
+    """One parameter combination of a plan.
+
+    ``meta`` carries whatever per-point context a report builder wants back
+    (row fields, predictions); it never crosses hosts and is not part of the
+    plan fingerprint -- it is recomputed wherever the plan is rebuilt.
+    """
+
+    label: str
+    config: ExperimentConfig
+    check: bool = True
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SweepPlan:
+    """The deterministic enumeration of every run of one sweep.
+
+    A plan is pure data: building one runs nothing.  Two hosts that build
+    the same plan (same experiment, same seeds, same parameters) agree on
+    every run's configuration, summary index and shard assignment, which is
+    what lets them execute disjoint shards independently.
+    """
+
+    key: str
+    seeds: List[int]
+    points: List[PlanPoint]
+    indexing: str = "per-point"
+    experiment: Optional[str] = None
+    entropy: int = 0
+    capacity: int = SKETCH_CAPACITY
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.indexing not in INDEXING_SCHEMES:
+            raise ShardError(
+                f"unknown indexing scheme {self.indexing!r}; choose from {INDEXING_SCHEMES}"
+            )
+        if not self.seeds:
+            raise ShardError("a plan needs at least one seed")
+        if not self.points:
+            raise ShardError("a plan needs at least one point")
+        labels = [point.label for point in self.points]
+        if len(set(labels)) != len(labels):
+            duplicates = sorted({label for label in labels if labels.count(label) > 1})
+            raise ShardError(f"plan point labels must be unique; duplicated: {duplicates}")
+
+    # ---------------------------------------------------------- enumeration
+    @property
+    def runs_per_point(self) -> int:
+        """How many runs (seeds) each point contributes."""
+        return len(self.seeds)
+
+    @property
+    def total_runs(self) -> int:
+        """The total number of runs in the whole plan."""
+        return len(self.points) * len(self.seeds)
+
+    def run_index(self, point_index: int, seed_position: int) -> int:
+        """The summary/priority index of one run under the plan's scheme."""
+        if self.indexing == "global":
+            return point_index * len(self.seeds) + seed_position
+        return seed_position
+
+    def point_indices(self, point_index: int) -> List[int]:
+        """All summary indices of one point, in fold order."""
+        return [self.run_index(point_index, si) for si in range(len(self.seeds))]
+
+    def owned_positions(self, point_index: int, shard: ShardSpec) -> List[int]:
+        """The seed positions of ``point_index`` that ``shard`` executes.
+
+        Ownership is round-robin over the *batch* position (point-major
+        enumeration), so shards stay balanced even when one point dominates,
+        and is independent of the indexing scheme.
+        """
+        base = point_index * len(self.seeds)
+        first = (shard.index - 1 - base) % shard.count
+        return list(range(first, len(self.seeds), shard.count))
+
+    def fingerprint(self) -> str:
+        """A digest pinning everything that affects sharded results.
+
+        Covers the manifest version, the numbering scheme, the seeds, the
+        sketch entropy/capacity, every point's label, ``check`` flag and
+        full configuration ``repr`` (all the config components have stable,
+        value-only reprs), and this host's :func:`~.aggregate.priority_backend`
+        -- a numpy host and a numpy-free host derive different sketch
+        priorities for the same run index, so their shards must not merge.
+        Two plans with equal fingerprints produce interchangeable shards;
+        everything this module writes or reads is checked against it.
+        """
+        payload = json.dumps(
+            {
+                "version": MANIFEST_VERSION,
+                "key": self.key,
+                "experiment": self.experiment,
+                "indexing": self.indexing,
+                "entropy": self.entropy,
+                "capacity": self.capacity,
+                "priority_backend": priority_backend(),
+                "seeds": list(self.seeds),
+                "points": [
+                    [point.label, point.check, repr(point.config)] for point in self.points
+                ],
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def plan_repeat(
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    label: str = "repeat",
+    check: bool = True,
+    key: str = "repeat",
+) -> SweepPlan:
+    """A single-point plan equivalent to :func:`~repro.harness.sweep.repeat`."""
+    return SweepPlan(
+        key=key,
+        seeds=list(seeds),
+        points=[PlanPoint(label=label, config=config, check=check)],
+        indexing="per-point",
+    )
+
+
+def plan_sweep(
+    base_config: ExperimentConfig,
+    variations: Mapping[str, Mapping[str, Any]],
+    seeds: Sequence[int],
+    check: bool = True,
+    key: str = "sweep",
+) -> SweepPlan:
+    """A plan enumerating exactly what :func:`~repro.harness.sweep.sweep` runs."""
+    points = [
+        PlanPoint(label=label, config=config, check=check, meta=overrides)
+        for label, overrides, config in variation_points(base_config, variations)
+    ]
+    return SweepPlan(key=key, seeds=list(seeds), points=points, indexing="global")
+
+
+def plan_grid(
+    base_config: ExperimentConfig,
+    axes: Mapping[str, Sequence[Any]],
+    seeds: Sequence[int],
+    label_format: Optional[Callable[[Dict[str, Any]], str]] = None,
+    check: bool = True,
+    key: str = "grid",
+) -> SweepPlan:
+    """A plan enumerating exactly what :func:`~repro.harness.sweep.grid` runs."""
+    points = [
+        PlanPoint(label=label, config=config, check=check, meta=overrides)
+        for label, overrides, config in grid_points(base_config, axes, label_format=label_format)
+    ]
+    return SweepPlan(key=key, seeds=list(seeds), points=points, indexing="global")
+
+
+# ---------------------------------------------------------- local execution
+def run_plan(
+    plan: SweepPlan, max_workers: Optional[int] = None
+) -> Dict[str, RunAggregate]:
+    """Execute the whole plan on this host, one aggregate per point label.
+
+    The single-host reference that sharded execution is measured against:
+    for a ``per-point`` plan this is bit-identical to calling
+    :func:`~repro.harness.sweep.repeat` per point, for a ``global`` plan to
+    the corresponding :func:`~repro.harness.sweep.sweep`/:func:`grid` call.
+    """
+    aggregates: Dict[str, RunAggregate] = {}
+    with worker_pool(max_workers):
+        for point_index, point in enumerate(plan.points):
+            configs = [point.config.with_seed(seed) for seed in plan.seeds]
+            reducer = SummaryReducer(
+                entropy=plan.entropy, start=plan.run_index(point_index, 0), step=1
+            )
+            summaries = run_many(
+                configs, max_workers=max_workers, check=point.check, reducer=reducer
+            )
+            aggregates[point.label] = RunAggregate.from_summaries(
+                summaries, capacity=plan.capacity
+            )
+    return aggregates
+
+
+# ------------------------------------------------------------- artifact IO
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``path`` via a same-directory temp file + rename, never partially."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
+
+
+def manifest_path(out_dir: Union[str, Path], shard: ShardSpec) -> Path:
+    """Where the manifest of ``shard`` lives under ``out_dir``."""
+    return Path(out_dir) / f"shard-{shard.index}of{shard.count}.json"
+
+
+def checkpoint_path(out_dir: Union[str, Path], shard: ShardSpec, point_index: int) -> Path:
+    """Where the checkpoint of one completed sweep point lives."""
+    return Path(out_dir) / f"shard-{shard.index}of{shard.count}-point-{point_index:04d}.pkl"
+
+
+def _load_manifest(path: Path) -> Dict[str, Any]:
+    """Read and structurally validate one manifest file."""
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise ManifestError(f"malformed manifest {path}: {error}") from error
+    if not isinstance(raw, dict) or "version" not in raw:
+        raise ManifestError(f"malformed manifest {path}: not a manifest object")
+    if raw["version"] != MANIFEST_VERSION:
+        raise ManifestError(
+            f"manifest {path} has version {raw['version']!r} but this build reads "
+            f"version {MANIFEST_VERSION}; re-run its shard with a matching build"
+        )
+    required = ("fingerprint", "shard_index", "shard_count", "points", "seeds")
+    missing = [key for key in required if key not in raw]
+    if missing:
+        raise ManifestError(f"malformed manifest {path}: missing fields {missing}")
+    return raw
+
+
+def _load_checkpoint(path: Path, plan: SweepPlan, shard: ShardSpec, point_index: int) -> List[RunSummary]:
+    """Read one checkpoint and verify it belongs to ``plan``/``shard``/point."""
+    try:
+        with open(path, "rb") as handle:
+            raw = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError) as error:
+        raise ManifestError(f"unreadable checkpoint {path}: {error}") from error
+    if not isinstance(raw, dict):
+        raise ManifestError(f"malformed checkpoint {path}: not a checkpoint object")
+    if raw.get("version") != MANIFEST_VERSION:
+        raise ManifestError(
+            f"checkpoint {path} has version {raw.get('version')!r} but this build "
+            f"reads version {MANIFEST_VERSION}"
+        )
+    if raw.get("fingerprint") != plan.fingerprint():
+        raise ManifestError(
+            f"checkpoint {path} belongs to a different plan "
+            f"(fingerprint {raw.get('fingerprint')!r})"
+        )
+    expected_indices = [
+        plan.run_index(point_index, si) for si in plan.owned_positions(point_index, shard)
+    ]
+    summaries = raw.get("summaries")
+    if (
+        raw.get("point_index") != point_index
+        or raw.get("label") != plan.points[point_index].label
+        or not isinstance(summaries, list)
+        or [summary.index for summary in summaries] != expected_indices
+    ):
+        raise ManifestError(
+            f"checkpoint {path} does not cover the expected runs of point "
+            f"{point_index} ({plan.points[point_index].label!r}) for shard {shard}"
+        )
+    return summaries
+
+
+def _write_checkpoint(
+    path: Path, plan: SweepPlan, shard: ShardSpec, point_index: int, summaries: List[RunSummary]
+) -> None:
+    payload = {
+        "version": MANIFEST_VERSION,
+        "fingerprint": plan.fingerprint(),
+        "shard": str(shard),
+        "point_index": point_index,
+        "label": plan.points[point_index].label,
+        "summaries": summaries,
+    }
+    _atomic_write_bytes(path, pickle.dumps(payload))
+
+
+# ------------------------------------------------------------ shard running
+@dataclass
+class ShardRunResult:
+    """What :func:`run_shard` did: which points ran, resumed or were skipped."""
+
+    shard: ShardSpec
+    out_dir: Path
+    manifest: Path
+    executed: List[str] = field(default_factory=list)
+    resumed: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    runs_executed: int = 0
+    runs_resumed: int = 0
+
+
+def run_shard(
+    plan: SweepPlan,
+    shard: ShardSpec,
+    out_dir: Union[str, Path],
+    max_workers: Optional[int] = None,
+) -> ShardRunResult:
+    """Execute this shard's slice of the plan, checkpointing per sweep point.
+
+    Completed points found on disk (from a previous, possibly killed,
+    invocation) are validated and reused instead of recomputed; corrupt or
+    foreign checkpoints are recomputed with a warning.  The manifest is
+    rewritten atomically after every point, so at any kill point the
+    directory holds a resumable prefix of the shard's work.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    fingerprint = plan.fingerprint()
+    mpath = manifest_path(out, shard)
+    for existing_path in find_manifests(out):
+        existing = _load_manifest(existing_path)
+        if existing["fingerprint"] != fingerprint:
+            raise ManifestError(
+                f"{existing_path} belongs to a different plan (fingerprint "
+                f"{existing['fingerprint'][:12]}... != {fingerprint[:12]}...); "
+                f"every shard sharing an output directory must run the same "
+                f"experiment with the same seeds -- merge or clear that "
+                f"directory before reusing it"
+            )
+
+    result = ShardRunResult(shard=shard, out_dir=out, manifest=mpath)
+    points_record: Dict[str, Dict[str, Any]] = {}
+
+    def write_manifest() -> None:
+        """Atomically rewrite the manifest with the progress so far."""
+        payload = {
+            "version": MANIFEST_VERSION,
+            "fingerprint": fingerprint,
+            "plan_key": plan.key,
+            "experiment": plan.experiment,
+            "indexing": plan.indexing,
+            "priority_backend": priority_backend(),
+            "shard_index": shard.index,
+            "shard_count": shard.count,
+            "seeds": list(plan.seeds),
+            "labels": [point.label for point in plan.points],
+            "points": points_record,
+            "runs_total": sum(
+                len(plan.owned_positions(pi, shard)) for pi in range(len(plan.points))
+            ),
+            "runs_done": result.runs_executed + result.runs_resumed,
+        }
+        _atomic_write_bytes(mpath, json.dumps(payload, indent=2).encode("utf-8"))
+
+    with worker_pool(max_workers):
+        for point_index, point in enumerate(plan.points):
+            owned = plan.owned_positions(point_index, shard)
+            record: Dict[str, Any] = {"label": point.label, "runs": len(owned)}
+            points_record[str(point_index)] = record
+            if not owned:
+                result.skipped.append(point.label)
+                record["checkpoint"] = None
+                continue
+            cpath = checkpoint_path(out, shard, point_index)
+            if cpath.exists():
+                try:
+                    summaries = _load_checkpoint(cpath, plan, shard, point_index)
+                except ManifestError as error:
+                    warnings.warn(
+                        f"recomputing point {point.label!r}: {error}", RuntimeWarning
+                    )
+                else:
+                    result.resumed.append(point.label)
+                    result.runs_resumed += len(summaries)
+                    record["checkpoint"] = cpath.name
+                    write_manifest()
+                    continue
+            configs = [point.config.with_seed(plan.seeds[si]) for si in owned]
+            reducer = SummaryReducer(
+                entropy=plan.entropy,
+                start=plan.run_index(point_index, owned[0]),
+                step=shard.count,
+            )
+            summaries = run_many(
+                configs, max_workers=max_workers, check=point.check, reducer=reducer
+            )
+            _write_checkpoint(cpath, plan, shard, point_index, summaries)
+            result.executed.append(point.label)
+            result.runs_executed += len(summaries)
+            record["checkpoint"] = cpath.name
+            write_manifest()
+    write_manifest()
+    return result
+
+
+# ----------------------------------------------------------------- merging
+@dataclass
+class MergedSweep:
+    """The single-host-equivalent outcome reassembled from shard artifacts."""
+
+    plan: SweepPlan
+    shard_count: int
+    aggregates: Dict[str, RunAggregate]
+
+    def sweep_result(self) -> SweepResult:
+        """The merged aggregates as a :class:`~repro.harness.sweep.SweepResult`."""
+        result = SweepResult()
+        for point in self.plan.points:
+            result.points.append(
+                SweepPoint(
+                    label=point.label,
+                    parameters=dict(point.meta),
+                    aggregate=self.aggregates[point.label],
+                )
+            )
+        return result
+
+
+def find_manifests(out_dir: Union[str, Path]) -> List[Path]:
+    """All shard manifest files under ``out_dir``, in shard order."""
+    out = Path(out_dir)
+    if not out.is_dir():
+        raise ManifestError(f"{out} is not a directory")
+    found = [path for path in out.iterdir() if _MANIFEST_RE.match(path.name)]
+    return sorted(found, key=lambda path: int(_MANIFEST_RE.match(path.name).group(1)))
+
+
+def read_manifests(out_dir: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load and validate every shard manifest in ``out_dir`` (at least one)."""
+    paths = find_manifests(out_dir)
+    if not paths:
+        raise ManifestError(f"no shard manifests (shard-IofK.json) found in {Path(out_dir)}")
+    manifests = [_load_manifest(path) for path in paths]
+    first = manifests[0]
+    for manifest, path in zip(manifests, paths):
+        for key in ("fingerprint", "shard_count", "experiment", "indexing"):
+            if manifest.get(key) != first.get(key):
+                raise ManifestError(
+                    f"{path} disagrees with {paths[0]} on {key!r} "
+                    f"({manifest.get(key)!r} != {first.get(key)!r}); "
+                    f"these shards come from different runs"
+                )
+    return manifests
+
+
+def merge_shards(out_dir: Union[str, Path], plan: SweepPlan) -> MergedSweep:
+    """Fold every shard under ``out_dir`` into the single-host aggregates.
+
+    Validates the full covering first -- consistent manifest versions and
+    fingerprints, shards 1..k all present and complete -- then re-folds each
+    point's summaries in run-index order, producing aggregates bit-identical
+    to :func:`run_plan` of the same plan on one host.
+    """
+    out = Path(out_dir)
+    manifests = read_manifests(out)
+    fingerprint = plan.fingerprint()
+    first = manifests[0]
+    if first["fingerprint"] != fingerprint:
+        hint = ""
+        recorded_backend = first.get("priority_backend")
+        if recorded_backend and recorded_backend != priority_backend():
+            hint = (
+                f" (the shards were produced with the {recorded_backend!r} run-priority "
+                f"backend but this host uses {priority_backend()!r}; numpy availability "
+                f"must match between the shard hosts and the merge host)"
+            )
+        raise ManifestError(
+            f"shards in {out} were produced by a different plan (fingerprint "
+            f"{first['fingerprint'][:12]}... != {fingerprint[:12]}...); "
+            f"rebuild the merge plan with the same experiment, seeds and parameters"
+            + hint
+        )
+    count = first["shard_count"]
+    present = sorted(manifest["shard_index"] for manifest in manifests)
+    expected = list(range(1, count + 1))
+    if present != expected:
+        missing = sorted(set(expected) - set(present))
+        duplicated = sorted({index for index in present if present.count(index) > 1})
+        detail = []
+        if missing:
+            detail.append(f"missing shards {missing}")
+        if duplicated:
+            detail.append(f"duplicated shards {duplicated}")
+        raise ManifestError(
+            f"{out} does not hold a complete 1..{count} shard covering: {'; '.join(detail)}"
+        )
+
+    per_point: Dict[int, List[Tuple[int, RunSummary]]] = {
+        pi: [] for pi in range(len(plan.points))
+    }
+    for manifest in manifests:
+        shard = ShardSpec(index=manifest["shard_index"], count=count)
+        # Completeness is judged against the *plan*, not the manifest's own
+        # records: a killed shard's manifest simply lacks records for the
+        # points it never reached.
+        incomplete = [
+            plan.points[point_index].label
+            for point_index in range(len(plan.points))
+            if plan.owned_positions(point_index, shard)
+            and not manifest["points"].get(str(point_index), {}).get("checkpoint")
+        ]
+        if incomplete:
+            raise ManifestError(
+                f"shard {shard} is incomplete (points {incomplete} have no "
+                f"checkpoint yet); resume it by re-running its original run "
+                f"command before merging"
+            )
+        for point_index in range(len(plan.points)):
+            if not plan.owned_positions(point_index, shard):
+                continue
+            cpath = checkpoint_path(out, shard, point_index)
+            summaries = _load_checkpoint(cpath, plan, shard, point_index)
+            per_point[point_index].extend(
+                (summary.index, summary) for summary in summaries
+            )
+
+    aggregates: Dict[str, RunAggregate] = {}
+    for point_index, point in enumerate(plan.points):
+        pairs = sorted(per_point[point_index], key=lambda pair: pair[0])
+        indices = [index for index, _ in pairs]
+        if indices != plan.point_indices(point_index):
+            raise ManifestError(
+                f"point {point.label!r} reassembled with run indices {indices}, "
+                f"expected {plan.point_indices(point_index)}"
+            )
+        aggregates[point.label] = RunAggregate.from_summaries(
+            (summary for _, summary in pairs), capacity=plan.capacity
+        )
+    return MergedSweep(plan=plan, shard_count=count, aggregates=aggregates)

@@ -83,11 +83,13 @@ class RunMetrics:
 
     @property
     def messages_per_round(self) -> float:
+        """Messages sent per executed round (total messages at 0 rounds)."""
         if self.rounds_max == 0:
             return float(self.messages_sent)
         return self.messages_sent / self.rounds_max
 
     def as_dict(self) -> Dict[str, Any]:
+        """All fields plus the derived ratios, as a plain dictionary."""
         data = asdict(self)
         data["consensus_objects_per_phase"] = self.consensus_objects_per_phase
         data["invocations_per_process_per_phase"] = self.invocations_per_process_per_phase

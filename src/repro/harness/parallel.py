@@ -64,7 +64,7 @@ def _cgroup_cpu_quota() -> Optional[int]:
 
 
 def available_cpus() -> int:
-    """CPUs actually usable by this process (affinity- and cgroup-quota-aware)."""
+    """The CPUs usable by this process (affinity- and cgroup-quota-aware)."""
     try:
         cpus = len(os.sched_getaffinity(0)) or 1
     except AttributeError:  # platforms without sched_getaffinity

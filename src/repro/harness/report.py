@@ -74,6 +74,32 @@ def comparison_rows(
     return rows
 
 
+#: Metrics shown first (when present) by :func:`format_aggregates`.
+PREFERRED_METRICS = ("rounds_max", "messages_sent", "sm_ops", "decision_time_max")
+
+
+def format_aggregates(
+    label_to_aggregate: Mapping[str, Any],
+    metrics: Optional[Sequence[str]] = None,
+    precision: int = 2,
+    title: Optional[str] = None,
+    ci: bool = False,
+) -> str:
+    """Render mergeable aggregates as a table, one row per label.
+
+    When ``metrics`` is omitted, the columns are the :data:`PREFERRED_METRICS`
+    that every aggregate actually carries -- the right default for showing a
+    merged sweep without knowing which experiment produced it.
+    """
+    if metrics is None:
+        names = [set(aggregate.metric_names()) for aggregate in label_to_aggregate.values()]
+        common = set.intersection(*names) if names else set()
+        metrics = [metric for metric in PREFERRED_METRICS if metric in common]
+    return format_records(
+        aggregate_records(label_to_aggregate, metrics, ci=ci), precision=precision, title=title
+    )
+
+
 def aggregate_records(
     label_to_aggregate: Mapping[str, Any],
     metrics: Sequence[str],

@@ -89,10 +89,12 @@ class RunResult:
 
     @property
     def decided_value(self) -> Optional[int]:
+        """The decided value, or ``None`` when no process decided."""
         return self.metrics.decided_value
 
     @property
     def terminated(self) -> bool:
+        """Whether every correct process decided."""
         return self.metrics.terminated
 
 

@@ -26,6 +26,7 @@ class SummaryStats:
         return (self.mean - self.ci95_half_width, self.mean + self.ci95_half_width)
 
     def format(self, precision: int = 2) -> str:
+        """A compact one-line rendering: ``mean ± ci (min, med, max, n)``."""
         return (
             f"{self.mean:.{precision}f} ± {self.ci95_half_width:.{precision}f} "
             f"(min {self.minimum:.{precision}f}, med {self.median:.{precision}f}, "
@@ -34,6 +35,7 @@ class SummaryStats:
 
 
 def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on an empty sample)."""
     values = list(values)
     if not values:
         raise ValueError("mean of an empty sample")
@@ -41,6 +43,7 @@ def mean(values: Sequence[float]) -> float:
 
 
 def sample_std(values: Sequence[float]) -> float:
+    """Unbiased sample standard deviation (0 for fewer than two values)."""
     values = list(values)
     if len(values) < 2:
         return 0.0
@@ -49,6 +52,7 @@ def sample_std(values: Sequence[float]) -> float:
 
 
 def median(values: Sequence[float]) -> float:
+    """The 50th percentile."""
     return percentile(values, 50.0)
 
 

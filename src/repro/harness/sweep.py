@@ -40,6 +40,7 @@ class SweepPoint:
 
     @property
     def runs(self) -> int:
+        """How many repetitions this point aggregates."""
         return len(self.aggregate)
 
     def __len__(self) -> int:
@@ -56,6 +57,7 @@ class SweepPoint:
         return [result.metrics for result in self.results]
 
     def termination_rate(self) -> float:
+        """Fraction of repetitions in which every correct process decided."""
         return self.aggregate.termination_rate()
 
     def summary(self, metric: str) -> SummaryStats:
@@ -63,9 +65,11 @@ class SweepPoint:
         return self.aggregate.summary(metric)
 
     def mean(self, metric: str) -> float:
+        """Mean of one numeric metric across repetitions."""
         return self.aggregate.mean(metric)
 
     def percentile(self, metric: str, q: float) -> float:
+        """Estimated ``q``-th percentile of one metric across repetitions."""
         return self.aggregate.percentile(metric, q)
 
 
@@ -76,12 +80,14 @@ class SweepResult:
     points: List[SweepPoint] = field(default_factory=list)
 
     def point(self, label: str) -> SweepPoint:
+        """The sweep point with the given label (raises ``KeyError`` if absent)."""
         for candidate in self.points:
             if candidate.label == label:
                 return candidate
         raise KeyError(f"no sweep point labelled {label!r}")
 
     def labels(self) -> List[str]:
+        """Every point label, in sweep order."""
         return [point.label for point in self.points]
 
     def table(self, metrics: Sequence[str]) -> List[Dict[str, Any]]:
@@ -142,10 +148,7 @@ def sweep(
     All point x seed combinations are fanned out through one parallel batch
     so workers stay busy across point boundaries.
     """
-    points = [
-        (label, dict(overrides), replace(base_config, **overrides))
-        for label, overrides in variations.items()
-    ]
+    points = variation_points(base_config, variations)
     return _run_points(points, seeds, check=check, max_workers=max_workers, full_results=full_results)
 
 
@@ -164,6 +167,36 @@ def grid(
     under every seed.  Labels default to ``field=value`` pairs joined by
     commas.  As with :func:`sweep`, the whole grid is one parallel batch.
     """
+    points = grid_points(base_config, axes, label_format=label_format)
+    return _run_points(points, seeds, check=check, max_workers=max_workers, full_results=full_results)
+
+
+def variation_points(
+    base_config: ExperimentConfig,
+    variations: Mapping[str, Mapping[str, Any]],
+) -> List[Tuple[str, Dict[str, Any], ExperimentConfig]]:
+    """Expand named variations into ``(label, overrides, config)`` triples.
+
+    This is the point enumeration behind :func:`sweep`, shared with the
+    shard planner in :mod:`~repro.harness.distributed` so a sharded sweep
+    enumerates exactly the points a single-host sweep would.
+    """
+    return [
+        (label, dict(overrides), replace(base_config, **overrides))
+        for label, overrides in variations.items()
+    ]
+
+
+def grid_points(
+    base_config: ExperimentConfig,
+    axes: Mapping[str, Sequence[Any]],
+    label_format: Optional[Callable[[Dict[str, Any]], str]] = None,
+) -> List[Tuple[str, Dict[str, Any], ExperimentConfig]]:
+    """Expand a cartesian grid into ``(label, overrides, config)`` triples.
+
+    The point enumeration behind :func:`grid`, shared with the shard
+    planner in :mod:`~repro.harness.distributed`.
+    """
     points = []
     names = list(axes)
     for combination in itertools.product(*(axes[name] for name in names)):
@@ -174,7 +207,7 @@ def grid(
             else ", ".join(f"{name}={_short(value)}" for name, value in overrides.items())
         )
         points.append((label, overrides, replace(base_config, **overrides)))
-    return _run_points(points, seeds, check=check, max_workers=max_workers, full_results=full_results)
+    return points
 
 
 def _run_points(

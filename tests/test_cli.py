@@ -1,0 +1,147 @@
+"""The ``python -m repro`` CLI: run, shard, resume, status and merge."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.harness import distributed
+from repro.experiments import e1_figure1
+from repro.experiments.common import default_seeds
+
+E1_ARGS = ["--seeds", "2", "--max-workers", "1"]
+
+
+def run_cli(capsys, *argv):
+    """Invoke the CLI in-process, returning (exit_code, stdout, stderr)."""
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_list_names_every_experiment(capsys):
+    code, out, _ = run_cli(capsys, "list")
+    assert code == 0
+    for experiment in ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"):
+        assert experiment in out
+
+
+def test_run_prints_the_driver_report(capsys):
+    code, out, _ = run_cli(capsys, "run", "e1", *E1_ARGS)
+    assert code == 0
+    direct = e1_figure1.run(seeds=default_seeds(2), max_workers=1)
+    assert out.strip() == direct.format().strip()
+
+
+def test_shard_merge_report_equals_unsharded_run(tmp_path, capsys):
+    out_dir = str(tmp_path / "runs")
+    for shard in ("2/2", "1/2"):  # out of order on purpose
+        code, _, _ = run_cli(capsys, "run", "e1", *E1_ARGS, "--shard", shard, "--out", out_dir)
+        assert code == 0
+    code, merged_out, _ = run_cli(capsys, "merge", out_dir, "--report")
+    assert code == 0
+    code, direct_out, _ = run_cli(capsys, "run", "e1", *E1_ARGS)
+    assert code == 0
+    assert merged_out == direct_out
+
+
+def test_rerun_of_a_finished_shard_resumes(tmp_path, capsys):
+    out_dir = str(tmp_path / "runs")
+    code, first, _ = run_cli(capsys, "run", "e1", *E1_ARGS, "--shard", "1/2", "--out", out_dir)
+    assert code == 0 and "resumed" in first
+    code, second, _ = run_cli(capsys, "run", "e1", *E1_ARGS, "--shard", "1/2", "--out", out_dir)
+    assert code == 0
+    assert "0 executed" in second and "computed" not in second
+
+
+def test_status_shows_progress(tmp_path, capsys):
+    out_dir = str(tmp_path / "runs")
+    run_cli(capsys, "run", "e1", *E1_ARGS, "--shard", "1/2", "--out", out_dir)
+    code, out, _ = run_cli(capsys, "status", out_dir)
+    assert code == 0
+    assert "1/2" in out and "4/4" in out
+
+
+def test_status_of_killed_shard_shows_partial_points(tmp_path, capsys, monkeypatch):
+    out_dir = str(tmp_path / "runs")
+    real_run_many = distributed.run_many
+    calls = {"count": 0}
+
+    def dies_after_one_point(*args, **kwargs):
+        if calls["count"] >= 1:
+            raise KeyboardInterrupt("simulated kill")
+        calls["count"] += 1
+        return real_run_many(*args, **kwargs)
+
+    monkeypatch.setattr(distributed, "run_many", dies_after_one_point)
+    with pytest.raises(KeyboardInterrupt):
+        main(["run", "e1", *E1_ARGS, "--shard", "1/1", "--out", out_dir])
+    monkeypatch.setattr(distributed, "run_many", real_run_many)
+    capsys.readouterr()
+
+    code, out, _ = run_cli(capsys, "status", out_dir)
+    assert code == 0
+    assert "1/4" in out  # 1 of the plan's 4 points done, not "1/1"
+    code, _, err = run_cli(capsys, "merge", out_dir)
+    assert code == 2 and "resume it by re-running" in err
+
+
+def test_merge_summary_without_report_flag(tmp_path, capsys):
+    out_dir = str(tmp_path / "runs")
+    run_cli(capsys, "run", "e1", *E1_ARGS, "--out", out_dir)  # --out alone = shard 1/1
+    code, out, _ = run_cli(capsys, "merge", out_dir)
+    assert code == 0
+    assert "figure1-right/hybrid-local-coin" in out
+    assert "termination_rate" in out
+
+
+def test_shard_without_out_is_an_error(capsys):
+    code, _, err = run_cli(capsys, "run", "e1", "--shard", "1/2")
+    assert code == 2
+    assert "error:" in err and "--out" in err
+
+
+def test_unknown_experiment_is_an_error(capsys):
+    code, _, err = run_cli(capsys, "run", "e99")
+    assert code == 2
+    assert "unknown experiment" in err
+
+
+def test_bad_shard_spec_is_an_error(capsys, tmp_path):
+    code, _, err = run_cli(capsys, "run", "e1", "--shard", "4/2", "--out", str(tmp_path))
+    assert code == 2
+    assert "shard index" in err
+
+
+def test_merge_of_empty_directory_is_an_error(capsys, tmp_path):
+    code, _, err = run_cli(capsys, "merge", str(tmp_path))
+    assert code == 2
+    assert "no shard manifests" in err
+
+
+def test_mismatched_shard_seeds_are_rejected_at_merge(tmp_path, capsys):
+    out_dir = str(tmp_path / "runs")
+    code, _, _ = run_cli(capsys, "run", "e1", "--seeds", "2", "--max-workers", "1",
+                         "--shard", "1/2", "--out", out_dir)
+    assert code == 0
+    code, _, err = run_cli(capsys, "run", "e1", "--seeds", "3", "--max-workers", "1",
+                           "--shard", "2/2", "--out", out_dir)
+    assert code == 2
+    assert "different plan" in err
+
+
+def test_python_dash_m_entry_point():
+    """`python -m repro` resolves through __main__.py in a real subprocess."""
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    src = str(repo_root / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "list"],
+        capture_output=True, text=True, env=env, cwd=str(repo_root), timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "e8" in completed.stdout
