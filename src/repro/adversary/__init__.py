@@ -1,0 +1,50 @@
+"""Fault-injection adversaries: declarative scenarios for robustness testing.
+
+The paper proves its algorithms safe under *any* asynchronous adversary;
+this package lets the simulator actually play one.  A
+:class:`~repro.adversary.scenario.Scenario` composes declarative fault
+primitives -- message omission, duplication, reordering, partition windows,
+per-process slowdowns and crash-recovery outages -- and a per-run
+:class:`~repro.adversary.scenario.Adversary` injects them deterministically
+through three narrow kernel hooks: message-send time (omission, duplication,
+reordering, partitions), event-dispatch time (slowdowns), and scheduled
+pause/recover events (crash-recovery outages).
+
+Scenarios are plain picklable data with stable reprs, so they ride inside
+:class:`~repro.harness.runner.ExperimentConfig`, enter sweep-plan
+fingerprints, and keep sharded adversarial sweeps bit-identical to
+single-host ones.  The named registry in
+:mod:`~repro.adversary.library` makes scenarios referencable from the CLI
+(``python -m repro run e9 --scenario lossy-links``).
+"""
+
+from .faults import (
+    FAULT_TYPES,
+    CrashRecovery,
+    LinkFault,
+    MessageDuplication,
+    MessageOmission,
+    MessageReordering,
+    Outage,
+    PartitionWindow,
+    ProcessSlowdown,
+)
+from .library import build_scenario, register_scenario, scenario_names
+from .scenario import Adversary, Scenario
+
+__all__ = [
+    "Adversary",
+    "CrashRecovery",
+    "FAULT_TYPES",
+    "LinkFault",
+    "MessageDuplication",
+    "MessageOmission",
+    "MessageReordering",
+    "Outage",
+    "PartitionWindow",
+    "ProcessSlowdown",
+    "Scenario",
+    "build_scenario",
+    "register_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,332 @@
+"""Declarative fault primitives composed into adversarial scenarios.
+
+Every primitive is a frozen dataclass of plain values (probabilities, pid
+tuples, time windows), so primitives are picklable, hashable and have
+stable value-only ``repr``\\ s -- the property that lets a
+:class:`~repro.adversary.scenario.Scenario` enter a
+:class:`~repro.harness.distributed.SweepPlan` fingerprint and keep sharded
+adversarial sweeps bit-identical to single-host ones.
+
+The primitives describe *what* goes wrong; *when* it goes wrong for a
+specific execution is decided by the runtime
+:class:`~repro.adversary.scenario.Adversary`, which draws every random
+choice (per-message omission, duplication, reordering) from a dedicated
+seeded kernel stream, so two runs of the same configuration inject the
+identical faults.
+
+Self-addressed messages are never faulted: a process's channel to itself is
+local, and the paper's ``broadcast`` macro relies on a process hearing its
+own value.  Likewise none of the primitives can forge or corrupt a payload
+-- this is a crash/omission/timing adversary, not a Byzantine one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: The two partition semantics (see :class:`PartitionWindow`).
+PARTITION_MODES = ("heal", "drop")
+
+
+def _normalised_pids(pids: object, what: str) -> Tuple[int, ...]:
+    """Validate and sort a collection of process ids into a tuple."""
+    try:
+        values = tuple(sorted(int(pid) for pid in pids))  # type: ignore[union-attr]
+    except TypeError as error:
+        raise ValueError(f"{what} must be an iterable of process ids, got {pids!r}") from error
+    if any(pid < 0 for pid in values):
+        raise ValueError(f"{what} must be non-negative process ids, got {values}")
+    if len(set(values)) != len(values):
+        raise ValueError(f"{what} holds duplicate process ids: {values}")
+    return values
+
+
+def _check_probability(probability: float) -> None:
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+
+
+def _check_window(start: float, end: float) -> None:
+    if start < 0:
+        raise ValueError(f"window start must be >= 0, got {start}")
+    if end <= start:
+        raise ValueError(f"window end must be > start, got [{start}, {end})")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Base of the per-message faults (omission, duplication, reordering).
+
+    ``senders``/``receivers`` restrict the fault to messages whose sender /
+    destination is in the given set (``None`` = any process), and the fault
+    is only active for sends inside ``[start, end)``.
+    """
+
+    probability: float = 1.0
+    senders: Optional[Tuple[int, ...]] = None
+    receivers: Optional[Tuple[int, ...]] = None
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        _check_probability(self.probability)
+        _check_window(self.start, self.end)
+        for attribute in ("senders", "receivers"):
+            value = getattr(self, attribute)
+            if value is not None:
+                object.__setattr__(self, attribute, _normalised_pids(value, attribute))
+
+    def applies(self, sender: int, dest: int, time: float) -> bool:
+        """Whether this fault may affect a ``sender -> dest`` send at ``time``."""
+        if not self.start <= time < self.end:
+            return False
+        if self.senders is not None and sender not in self.senders:
+            return False
+        return self.receivers is None or dest in self.receivers
+
+    def touched_pids(self) -> Tuple[int, ...]:
+        """Every pid this fault names explicitly (for install-time validation)."""
+        return (self.senders or ()) + (self.receivers or ())
+
+    @property
+    def liveness_preserving(self) -> bool:
+        """Whether the fault can only delay progress, never prevent it."""
+        return True
+
+
+@dataclass(frozen=True)
+class MessageOmission(LinkFault):
+    """Drop each matching message independently with ``probability``.
+
+    This breaks the reliable-channel assumption of the paper's model, so
+    termination is no longer guaranteed -- which is exactly what experiment
+    e9 measures.  Safety must survive regardless.
+    """
+
+    @property
+    def liveness_preserving(self) -> bool:
+        """Omission can starve a wait forever, so liveness is not preserved."""
+        return self.probability == 0.0
+
+
+@dataclass(frozen=True)
+class MessageDuplication(LinkFault):
+    """Deliver ``copies`` extra copies of each matching message.
+
+    Each copy transits independently (its delay is re-sampled from the
+    network's delay model), so duplicates typically arrive out of order
+    with the original -- the classic at-least-once channel.
+    """
+
+    copies: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.copies < 1:
+            raise ValueError(f"copies must be >= 1, got {self.copies}")
+
+
+@dataclass(frozen=True)
+class MessageReordering(LinkFault):
+    """Inflate the transit delay of each matching message by ``inflation``.
+
+    Because other messages keep their sampled delays, inflated messages are
+    overtaken by later sends -- an aggressive reordering adversary while
+    still delivering every message (liveness-preserving).
+    """
+
+    inflation: float = 10.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.inflation <= 1.0:
+            raise ValueError(f"inflation must be > 1, got {self.inflation}")
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Sever the links between process groups for virtual times ``[start, end)``.
+
+    ``groups`` are disjoint pid sets; a message crossing from one group to a
+    *different* group while the window is active is affected (pids in no
+    group communicate freely).  With mode ``"heal"`` the message is held and
+    delivered once the partition heals (delivery at ``end`` plus its sampled
+    delay); with mode ``"drop"`` it is lost outright.
+    """
+
+    groups: Tuple[Tuple[int, ...], ...]
+    start: float = 0.0
+    end: float = math.inf
+    mode: str = "heal"
+
+    def __post_init__(self) -> None:
+        if self.mode not in PARTITION_MODES:
+            raise ValueError(f"unknown partition mode {self.mode!r}; choose from {PARTITION_MODES}")
+        _check_window(self.start, self.end)
+        if self.mode == "heal" and not math.isfinite(self.end):
+            raise ValueError("a healing partition needs a finite end time")
+        if len(self.groups) < 2:
+            raise ValueError("a partition needs at least two groups")
+        groups = tuple(_normalised_pids(group, "partition group") for group in self.groups)
+        seen: set = set()
+        for group in groups:
+            if not group:
+                raise ValueError("partition groups must be non-empty")
+            overlap = seen.intersection(group)
+            if overlap:
+                raise ValueError(f"partition groups must be disjoint; {sorted(overlap)} repeated")
+            seen.update(group)
+        object.__setattr__(self, "groups", groups)
+
+    def _group_of(self, pid: int) -> int:
+        for index, group in enumerate(self.groups):
+            if pid in group:
+                return index
+        return -1
+
+    def severs(self, sender: int, dest: int, time: float) -> bool:
+        """Whether the link ``sender -> dest`` is cut at ``time``."""
+        if not self.start <= time < self.end:
+            return False
+        sender_group = self._group_of(sender)
+        if sender_group < 0:
+            return False
+        dest_group = self._group_of(dest)
+        return dest_group >= 0 and dest_group != sender_group
+
+    def touched_pids(self) -> Tuple[int, ...]:
+        """Every pid named by the partition groups."""
+        return tuple(pid for group in self.groups for pid in group)
+
+    @property
+    def liveness_preserving(self) -> bool:
+        """A healing partition only delays; a dropping one loses messages."""
+        return self.mode == "heal"
+
+
+@dataclass(frozen=True)
+class ProcessSlowdown:
+    """Defer every kernel step of the targeted processes by ``extra_delay``.
+
+    Each :class:`~repro.sim.events.StepResume` (and delivery) dispatched to a
+    slowed process inside the window is postponed once by ``extra_delay``
+    virtual-time units -- the process still takes every step, just later,
+    which models a slow or overloaded replica without violating any model
+    assumption.
+    """
+
+    pids: Tuple[int, ...]
+    extra_delay: float = 1.0
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pids", _normalised_pids(self.pids, "slowdown pids"))
+        if not self.pids:
+            raise ValueError("a slowdown needs at least one process id")
+        if self.extra_delay <= 0:
+            raise ValueError(f"extra_delay must be > 0, got {self.extra_delay}")
+        _check_window(self.start, self.end)
+
+    def defers(self, pid: int, time: float) -> bool:
+        """Whether an event of process ``pid`` is deferred at ``time``."""
+        return pid in self.pids and self.start <= time < self.end
+
+    def touched_pids(self) -> Tuple[int, ...]:
+        """The slowed pids (for install-time validation)."""
+        return self.pids
+
+    @property
+    def liveness_preserving(self) -> bool:
+        """Slowdowns only delay steps, never suppress them."""
+        return True
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One crash-recovery episode: ``pid`` is down during ``[down_at, up_at)``."""
+
+    pid: int
+    down_at: float
+    up_at: float
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise ValueError(f"pid must be >= 0, got {self.pid}")
+        _check_window(self.down_at, self.up_at)
+        if not math.isfinite(self.up_at):
+            raise ValueError("an outage must recover at a finite time; use "
+                             "FailurePattern for permanent crashes")
+
+
+def check_outages_disjoint(outages) -> None:
+    """Reject overlapping outages of one process.
+
+    The kernel's pause/recover machinery keys on the pid alone, so a pause
+    nested inside another outage would be silently dropped and the first
+    recover would truncate the longer outage.  Enforced per
+    :class:`CrashRecovery` schedule at construction and across a whole
+    scenario's schedules at :meth:`~repro.adversary.scenario.Scenario`
+    construction time.
+    """
+    by_pid: dict = {}
+    for outage in outages:
+        by_pid.setdefault(outage.pid, []).append(outage)
+    for pid, episodes in by_pid.items():
+        episodes.sort(key=lambda outage: outage.down_at)
+        for previous, current in zip(episodes, episodes[1:]):
+            if current.down_at < previous.up_at:
+                raise ValueError(
+                    f"process {pid} has overlapping outages "
+                    f"[{previous.down_at}, {previous.up_at}) and "
+                    f"[{current.down_at}, {current.up_at})"
+                )
+
+
+@dataclass(frozen=True)
+class CrashRecovery:
+    """A schedule of transient process outages (crash *and recover*).
+
+    Generalises the crash-only :class:`~repro.cluster.failures.FailurePattern`:
+    during an outage the process takes no steps; its pending steps and
+    deliveries are buffered and replayed at recovery, so the episode is
+    indistinguishable from the process being arbitrarily slow -- which the
+    asynchronous model already permits, making this primitive
+    liveness-preserving.  Processes that must *stay* down belong in a
+    ``FailurePattern``, not here.
+    """
+
+    outages: Tuple[Outage, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        outages = tuple(
+            outage if isinstance(outage, Outage) else Outage(*outage) for outage in self.outages
+        )
+        if not outages:
+            raise ValueError("a crash-recovery schedule needs at least one outage")
+        check_outages_disjoint(outages)
+        object.__setattr__(
+            self, "outages", tuple(sorted(outages, key=lambda o: (o.pid, o.down_at)))
+        )
+
+    def touched_pids(self) -> Tuple[int, ...]:
+        """Every pid with at least one outage."""
+        return tuple(sorted({outage.pid for outage in self.outages}))
+
+    @property
+    def liveness_preserving(self) -> bool:
+        """Every outage recovers, so progress is only delayed."""
+        return True
+
+
+#: The primitive types a :class:`~repro.adversary.scenario.Scenario` accepts.
+FAULT_TYPES = (
+    MessageOmission,
+    MessageDuplication,
+    MessageReordering,
+    PartitionWindow,
+    ProcessSlowdown,
+    CrashRecovery,
+)

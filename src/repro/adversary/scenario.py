@@ -1,0 +1,247 @@
+"""The declarative :class:`Scenario` model and its runtime :class:`Adversary`.
+
+A :class:`Scenario` is pure data -- a named, ordered composition of the
+fault primitives from :mod:`~repro.adversary.faults`.  It travels inside an
+:class:`~repro.harness.runner.ExperimentConfig` (pickled to workers, its
+``repr`` hashed into sweep-plan fingerprints) and runs nothing by itself.
+
+The :class:`Adversary` is the per-run engine built from a scenario: it owns
+the seeded random stream the fault coin-flips draw from, and it answers the
+two narrow questions the simulation kernel asks:
+
+* :meth:`Adversary.deliveries` -- at message-send time, into which delivery
+  delays (none = omitted, several = duplicated) does this send turn?
+* :meth:`Adversary.defer` -- at event-dispatch time, should this event be
+  postponed (per-process slowdowns)?
+
+Crash-recovery outages are not consulted per event; they are installed once
+as :class:`~repro.sim.events.ProcessPause` / ``ProcessRecover`` events in
+the kernel's queue.  A kernel with no adversary installed never pays more
+than one ``is None`` check per event.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..sim.events import (
+    Event,
+    MessageDelivery,
+    ProcessPause,
+    ProcessRecover,
+    ProcessStart,
+    StepResume,
+)
+from .faults import (
+    FAULT_TYPES,
+    CrashRecovery,
+    MessageDuplication,
+    MessageOmission,
+    MessageReordering,
+    PartitionWindow,
+    ProcessSlowdown,
+    check_outages_disjoint,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, declarative composition of fault primitives.
+
+    Scenarios are plain data with a stable value-only ``repr``: equal
+    scenarios compare and hash equal, pickle round-trips preserve them, and
+    the ``repr`` entering a sweep-plan fingerprint pins the exact fault
+    behaviour of every sharded run.
+    """
+
+    name: str
+    faults: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"scenario name must be a non-empty string, got {self.name!r}")
+        faults = tuple(self.faults)
+        for fault in faults:
+            if not isinstance(fault, FAULT_TYPES):
+                raise ValueError(
+                    f"unknown fault primitive {fault!r}; scenarios compose "
+                    f"{sorted(t.__name__ for t in FAULT_TYPES)}"
+                )
+        # Each CrashRecovery schedule validates itself; overlapping outages
+        # *across* schedules would be just as silently mis-handled by the
+        # kernel's pid-keyed pause machinery, so validate the union too.
+        check_outages_disjoint(
+            [
+                outage
+                for fault in faults
+                if isinstance(fault, CrashRecovery)
+                for outage in fault.outages
+            ]
+        )
+        object.__setattr__(self, "faults", faults)
+
+    @property
+    def liveness_preserving(self) -> bool:
+        """Whether every fault only delays progress (no message is ever lost).
+
+        Liveness-preserving scenarios keep the paper's termination guarantee
+        intact (asynchrony already allows arbitrary delays); scenarios that
+        can lose messages void it, and only safety remains guaranteed.
+        """
+        return all(fault.liveness_preserving for fault in self.faults)
+
+    def describe(self) -> str:
+        """A short human-readable summary (name plus fault kinds)."""
+        if not self.faults:
+            return f"{self.name} (fault-free)"
+        kinds = ", ".join(type(fault).__name__ for fault in self.faults)
+        return f"{self.name} ({kinds})"
+
+    def touched_pids(self) -> Tuple[int, ...]:
+        """Every pid any fault names explicitly, sorted and deduplicated."""
+        pids: set = set()
+        for fault in self.faults:
+            touched = getattr(fault, "touched_pids", None)
+            if touched is not None:
+                pids.update(touched())
+        return tuple(sorted(pids))
+
+
+class Adversary:
+    """The runtime fault-injection engine the kernel consults.
+
+    One adversary serves one simulation run: it is built from a scenario
+    and a dedicated :class:`random.Random` stream (derived from the run's
+    master seed), installed into a kernel with
+    :meth:`~repro.sim.kernel.SimulationKernel.install_adversary`, and never
+    crosses process boundaries -- the picklable artifact is the scenario.
+    """
+
+    def __init__(self, scenario: Scenario, rng: random.Random) -> None:
+        self.scenario = scenario
+        self._rng = rng
+        self._kernel = None
+        self._omissions: List[MessageOmission] = []
+        self._duplications: List[MessageDuplication] = []
+        self._reorderings: List[MessageReordering] = []
+        self._partitions: List[PartitionWindow] = []
+        self._slowdowns: List[ProcessSlowdown] = []
+        self._crash_recoveries: List[CrashRecovery] = []
+        self._deferred_ids: set = set()
+        buckets = {
+            MessageOmission: self._omissions,
+            MessageDuplication: self._duplications,
+            MessageReordering: self._reorderings,
+            PartitionWindow: self._partitions,
+            ProcessSlowdown: self._slowdowns,
+            CrashRecovery: self._crash_recoveries,
+        }
+        for fault in scenario.faults:
+            # Walk the MRO so user subclasses of the primitives (accepted by
+            # Scenario's isinstance validation) land in their base's bucket,
+            # mirroring how the kernel dispatches event subclasses.
+            bucket = next(
+                (buckets[base] for base in type(fault).__mro__ if base in buckets), None
+            )
+            if bucket is None:  # pragma: no cover - Scenario validation rejects these
+                raise ValueError(f"no adversary handling for fault {fault!r}")
+            bucket.append(fault)
+        self._defers_events = bool(self._slowdowns)
+
+    # ------------------------------------------------------------ installation
+    def install(self, kernel) -> None:
+        """Bind to ``kernel``: validate pids and schedule crash-recovery events.
+
+        Called by :meth:`SimulationKernel.install_adversary` after every
+        process is registered, so a scenario naming a pid the run does not
+        have fails here with a clear :class:`ValueError` instead of silently
+        never firing.
+        """
+        known = set(kernel.process_ids())
+        unknown = sorted(set(self.scenario.touched_pids()) - known)
+        if unknown:
+            raise ValueError(
+                f"scenario {self.scenario.name!r} targets process ids {unknown}, "
+                f"but this run only has processes {sorted(known)}"
+            )
+        self._kernel = kernel
+        for schedule in self._crash_recoveries:
+            for outage in schedule.outages:
+                kernel.schedule_pause(outage.pid, outage.down_at, outage.up_at)
+
+    # ------------------------------------------------------- send-time verdict
+    def deliveries(self, sender: int, dest: int, now: float, delay: float) -> Tuple[float, ...]:
+        """The delivery delays one ``sender -> dest`` send turns into.
+
+        An empty tuple means the message is omitted; more than one entry
+        means duplicates (each extra copy re-samples its transit delay from
+        the network's delay model).  Self-addressed messages are never
+        faulted.  Faults are applied in a fixed order -- partitions, then
+        omission, then reordering, then duplication -- and every random
+        choice draws from the adversary's own stream, in deterministic
+        event order.
+        """
+        if sender == dest:
+            return (delay,)
+        # The hold is the time until the last active severing partition
+        # heals; it applies to the original *and* to every duplicate, so no
+        # copy can sneak across a partition that is still up.
+        hold = 0.0
+        for partition in self._partitions:
+            if partition.severs(sender, dest, now):
+                if partition.mode == "drop":
+                    return ()
+                hold = max(hold, partition.end - now)
+        for omission in self._omissions:
+            if omission.applies(sender, dest, now) and self._rng.random() < omission.probability:
+                return ()
+        for reordering in self._reorderings:
+            if reordering.applies(sender, dest, now) and self._rng.random() < reordering.probability:
+                delay *= reordering.inflation
+        delays = [hold + delay]
+        for duplication in self._duplications:
+            if duplication.applies(sender, dest, now) and self._rng.random() < duplication.probability:
+                network = self._kernel.network
+                delays.extend(
+                    hold + network.sample_delay(sender=sender, dest=dest)
+                    for _ in range(duplication.copies)
+                )
+        return tuple(delays)
+
+    #: Event types a slowdown may postpone: the process's own steps and its
+    #: deliveries.  Control events (crash, pause, recover) must never be
+    #: deferred -- postponing a pause past its matching recover would strand
+    #: the process paused forever, and deferring a crash would let a
+    #: slowdown rewrite the failure pattern.
+    _DEFERRABLE = (StepResume, MessageDelivery, ProcessStart)
+
+    # --------------------------------------------------- dispatch-time verdict
+    def defer(self, event: Event, now: float) -> float:
+        """Extra delay to postpone ``event`` by at dispatch time (0.0 = none).
+
+        Implements per-process slowdowns: each step or delivery event of a
+        slowed process inside its window is postponed exactly once (the
+        kernel re-queues it and offers it again; the second offer passes
+        through), so a slowdown stretches the process's schedule without
+        ever starving it.
+        """
+        if not self._defers_events:
+            return 0.0
+        key = id(event)
+        if key in self._deferred_ids:
+            self._deferred_ids.discard(key)
+            return 0.0
+        if not isinstance(event, self._DEFERRABLE):
+            return 0.0
+        extra = 0.0
+        for slowdown in self._slowdowns:
+            if slowdown.defers(event.pid, now):
+                extra += slowdown.extra_delay
+        if extra > 0.0:
+            self._deferred_ids.add(key)
+        return extra
+
+
+__all__ = ["Adversary", "ProcessPause", "ProcessRecover", "Scenario"]

@@ -20,10 +20,12 @@ but the directory.
 from __future__ import annotations
 
 import argparse
+import inspect
 import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
+from .adversary.library import scenario_names
 from .experiments import ALL_EXPERIMENTS
 from .experiments.common import default_seeds, run_planned
 from .harness.distributed import (
@@ -45,11 +47,33 @@ def _resolve_experiment(name: str):
     return module
 
 
-def _build_plan(experiment: str, seed_count: Optional[int], seeds: Optional[List[int]] = None):
+def _build_plan(
+    experiment: str,
+    seed_count: Optional[int],
+    seeds: Optional[List[int]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+    require_scenarios: bool = True,
+):
+    """Build the named experiment's plan, forwarding a scenario restriction.
+
+    ``scenarios`` is forwarded to drivers whose ``plan`` accepts it (e9).
+    With ``require_scenarios`` a restriction the driver cannot honour is an
+    error; without it (the merge path, which replays whatever the manifests
+    recorded) it is silently ignored.
+    """
     module = _resolve_experiment(experiment)
     if seeds is None and seed_count is not None:
         seeds = default_seeds(seed_count)
-    return module, module.plan(seeds=seeds)
+    kwargs = {"seeds": seeds}
+    if scenarios is not None:
+        if "scenarios" in inspect.signature(module.plan).parameters:
+            kwargs["scenarios"] = tuple(scenarios)
+        elif require_scenarios:
+            raise ShardError(
+                f"experiment {experiment!r} does not take --scenario "
+                f"(only e9 sweeps fault scenarios)"
+            )
+    return module, module.plan(**kwargs)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -66,7 +90,15 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    module, plan = _build_plan(args.experiment, args.seeds)
+    scenarios = None
+    if args.scenario is not None:
+        if args.scenario not in scenario_names():
+            raise ShardError(
+                f"unknown scenario {args.scenario!r}; choose from: "
+                + ", ".join(scenario_names())
+            )
+        scenarios = (args.scenario,)
+    module, plan = _build_plan(args.experiment, args.seeds, scenarios=scenarios)
     if args.shard is not None and args.out is None:
         raise ShardError("--shard needs --out DIR to hold the manifest and checkpoints")
     if args.out is not None:
@@ -98,7 +130,13 @@ def _cmd_merge(args: argparse.Namespace) -> int:
             f"recorded); merge them with repro.harness.distributed.merge_shards and "
             f"the plan that produced them"
         )
-    module, plan = _build_plan(experiment, None, seeds=list(manifests[0]["seeds"]))
+    module, plan = _build_plan(
+        experiment,
+        None,
+        seeds=list(manifests[0]["seeds"]),
+        scenarios=manifests[0].get("scenarios"),
+        require_scenarios=False,
+    )
     merged = merge_shards(args.out_dir, plan)
     if args.report:
         print(module.build_report(merged.plan, merged.aggregates).format())
@@ -142,7 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Run, shard, resume and merge the paper's experiments E1-E8.",
+        description="Run, shard, resume and merge the experiments E1-E9.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -153,6 +191,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--seeds", type=int, default=None, metavar="N",
         help="number of repetitions per sweep point (default: the experiment's own default)",
+    )
+    run_parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="restrict e9 to one fault scenario from the library "
+        "(see repro.adversary.library; e.g. lossy-links, partition-heal)",
     )
     run_parser.add_argument(
         "--shard", default=None, metavar="I/K",

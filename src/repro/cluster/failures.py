@@ -54,7 +54,21 @@ class FailurePattern:
         return topology.termination_condition_holds(self.correct(topology.n))
 
     def install(self, kernel) -> None:
-        """Schedule every crash of this pattern into a simulation kernel."""
+        """Schedule every crash of this pattern into a simulation kernel.
+
+        Raises a :class:`ValueError` naming the offending pids when the
+        pattern crashes a process the kernel does not have -- a pattern
+        built for the wrong ``n`` would otherwise fail with an opaque
+        per-pid ``KeyError`` (or, if never installed, silently misrepresent
+        the run's fault load).
+        """
+        known = set(kernel.process_ids())
+        unknown = sorted(set(self.crashes) - known)
+        if unknown:
+            raise ValueError(
+                f"failure pattern crashes process ids {unknown}, but the kernel only "
+                f"has processes {sorted(known)}; build the pattern for this topology's n"
+            )
         for pid, time in sorted(self.crashes.items()):
             kernel.schedule_crash(pid, time)
 

@@ -1,4 +1,4 @@
-"""Experiments E1–E8: one module per paper figure / quantitative claim.
+"""Experiments E1–E9: one module per paper figure / quantitative claim.
 
 See ``docs/experiments.md`` for the experiment index (paper claim,
 parameters and sample invocations).  Every module exposes ``plan(...)``
@@ -16,6 +16,7 @@ from . import (
     e6_degenerate,
     e7_indulgence,
     e8_scalability,
+    e9_adversary,
 )
 from .common import ExperimentReport, default_seeds
 
@@ -28,6 +29,7 @@ ALL_EXPERIMENTS = {
     "E6": e6_degenerate,
     "E7": e7_indulgence,
     "E8": e8_scalability,
+    "E9": e9_adversary,
 }
 
 __all__ = [
@@ -42,4 +44,5 @@ __all__ = [
     "e6_degenerate",
     "e7_indulgence",
     "e8_scalability",
+    "e9_adversary",
 ]

@@ -71,8 +71,11 @@ from .sweep import SweepPoint, SweepResult, grid_points, variation_points
 
 #: Version stamped into every manifest and checkpoint this module writes.
 #: Readers reject any other version, so stale artifacts fail loudly instead
-#: of merging garbage.
-MANIFEST_VERSION = 1
+#: of merging garbage.  Version 2 added the ``delay_models`` / ``scenarios``
+#: provenance fields (and configs grew the fault-injection ``scenario``
+#: field, changing every fingerprint), so version-1 artifacts cannot merge
+#: with version-2 ones anyway.
+MANIFEST_VERSION = 2
 
 #: The two run-numbering schemes a plan can use (see the module docstring).
 INDEXING_SCHEMES = ("per-point", "global")
@@ -191,6 +194,31 @@ class SweepPlan:
     def point_indices(self, point_index: int) -> List[int]:
         """All summary indices of one point, in fold order."""
         return [self.run_index(point_index, si) for si in range(len(self.seeds))]
+
+    def delay_models(self) -> List[str]:
+        """Sorted unique delay-model descriptions across the plan's points.
+
+        Recorded in every shard manifest so :func:`merge_shards` can refuse
+        shards produced under a different delay model with an error that
+        names the field (the fingerprint would also catch it, but
+        anonymously).
+        """
+        return sorted({point.config.delay_model.describe() for point in self.points})
+
+    def scenario_names(self) -> List[str]:
+        """Sorted unique fault-scenario names across the plan's points.
+
+        Points without a scenario contribute ``"none"``.  Besides powering
+        the named-field merge refusal (like :meth:`delay_models`), this is
+        what lets ``python -m repro merge`` rebuild a scenario-restricted
+        e9 plan from the manifests alone.
+        """
+        return sorted(
+            {
+                point.config.scenario.name if point.config.scenario is not None else "none"
+                for point in self.points
+            }
+        )
 
     def owned_positions(self, point_index: int, shard: ShardSpec) -> List[int]:
         """The seed positions of ``point_index`` that ``shard`` executes.
@@ -452,6 +480,8 @@ def run_shard(
             "experiment": plan.experiment,
             "indexing": plan.indexing,
             "priority_backend": priority_backend(),
+            "delay_models": plan.delay_models(),
+            "scenarios": plan.scenario_names(),
             "shard_index": shard.index,
             "shard_count": shard.count,
             "seeds": list(plan.seeds),
@@ -545,7 +575,7 @@ def read_manifests(out_dir: Union[str, Path]) -> List[Dict[str, Any]]:
     manifests = [_load_manifest(path) for path in paths]
     first = manifests[0]
     for manifest, path in zip(manifests, paths):
-        for key in ("fingerprint", "shard_count", "experiment", "indexing"):
+        for key in ("fingerprint", "shard_count", "experiment", "indexing", "delay_models", "scenarios"):
             if manifest.get(key) != first.get(key):
                 raise ManifestError(
                     f"{path} disagrees with {paths[0]} on {key!r} "
@@ -567,6 +597,21 @@ def merge_shards(out_dir: Union[str, Path], plan: SweepPlan) -> MergedSweep:
     manifests = read_manifests(out)
     fingerprint = plan.fingerprint()
     first = manifests[0]
+    # Provenance fields first: a delay-model or scenario mismatch would also
+    # trip the fingerprint check below, but with an anonymous digest -- the
+    # named-field error says *what* differs.
+    for field_name, plan_value in (
+        ("delay_models", plan.delay_models()),
+        ("scenarios", plan.scenario_names()),
+    ):
+        recorded = first.get(field_name)
+        if recorded is not None and list(recorded) != plan_value:
+            raise ManifestError(
+                f"shards in {out} disagree with the merge plan on {field_name!r}: "
+                f"the shards were produced under {recorded} but the plan has "
+                f"{plan_value}; shards produced under different delay models or "
+                f"fault scenarios cannot be merged"
+            )
     if first["fingerprint"] != fingerprint:
         hint = ""
         recorded_backend = first.get("priority_backend")

@@ -55,6 +55,14 @@ class RunMetrics:
     end_time: float
     events_processed: int
     wall_time_seconds: float = 0.0
+    #: Adversary-injected channel faults (0 unless a scenario is installed).
+    messages_omitted: int = 0
+    messages_duplicated: int = 0
+    #: Environment provenance recorded for reports and shard manifests: the
+    #: delay model's ``describe()`` string and the fault scenario's name
+    #: ("none" without one).  Strings, so they never enter numeric summaries.
+    delay_model: str = ""
+    scenario: str = "none"
 
     # ------------------------------------------------------------ derived
     @property
@@ -105,6 +113,8 @@ def collect_metrics(
     network,
     memories: Sequence[ClusterSharedMemory] = (),
     wall_time_seconds: float = 0.0,
+    delay_model: str = "",
+    scenario: str = "none",
 ) -> RunMetrics:
     """Assemble a :class:`RunMetrics` from the run's substrate objects."""
     decider_rounds = [result.rounds[pid] for pid in result.decisions]
@@ -141,6 +151,10 @@ def collect_metrics(
         end_time=result.end_time,
         events_processed=result.events_processed,
         wall_time_seconds=wall_time_seconds,
+        messages_omitted=network.stats.messages_omitted,
+        messages_duplicated=network.stats.messages_duplicated,
+        delay_model=delay_model,
+        scenario=scenario,
     )
 
 

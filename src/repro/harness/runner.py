@@ -14,6 +14,7 @@ import time as _time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
+from ..adversary.scenario import Adversary, Scenario
 from ..baselines.ben_or import BenOrConsensus
 from ..baselines.mp_common_coin import MessagePassingCommonCoinConsensus
 from ..baselines.shared_memory_only import SharedMemoryConsensus
@@ -65,6 +66,10 @@ class ExperimentConfig:
     sim: SimConfig = field(default_factory=SimConfig)
     consensus_kind: str = "cas"
     mm_domain: Optional[SharedMemoryDomain] = None
+    #: Optional fault-injection scenario (see :mod:`repro.adversary`).  Plain
+    #: declarative data: it is pickled to workers and its repr enters sweep
+    #: plan fingerprints, so adversarial sweeps shard and merge bit-identically.
+    scenario: Optional[Scenario] = None
     tag: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -99,15 +104,23 @@ class RunResult:
 
 
 def termination_expected(
-    algorithm: str, topology: ClusterTopology, failure_pattern: FailurePattern
+    algorithm: str,
+    topology: ClusterTopology,
+    failure_pattern: FailurePattern,
+    scenario: Optional[Scenario] = None,
 ) -> bool:
     """Whether the algorithm is *expected* to terminate under this pattern.
 
     Hybrid algorithms need the paper's cluster condition; pure message-passing
     algorithms (and the m&m analogue) need a strict majority of correct
     processes; the single-cluster shared-memory baseline only needs one
-    correct process.
+    correct process.  A fault-injection ``scenario`` that can lose messages
+    (omission, dropping partitions) breaks the reliable-channel assumption,
+    so termination stops being expected; liveness-preserving scenarios
+    (delays, duplication, crash-recovery) keep the guarantee.
     """
+    if scenario is not None and not scenario.liveness_preserving:
+        return False
     correct = failure_pattern.correct(topology.n)
     if not correct:
         return False
@@ -159,8 +172,20 @@ def _build_algorithm(
     raise ValueError(f"unknown algorithm {config.algorithm!r}")  # pragma: no cover
 
 
-def run_consensus(config: ExperimentConfig) -> RunResult:
-    """Run one consensus instance end to end and verify its properties."""
+def run_consensus(
+    config: ExperimentConfig,
+    local_coin_factory: Optional[Callable[[int], LocalCoin]] = None,
+    common_coin: Optional[CommonCoin] = None,
+) -> RunResult:
+    """Run one consensus instance end to end and verify its properties.
+
+    ``local_coin_factory`` / ``common_coin`` override the seeded default
+    coins -- the hook the adversarial-coin robustness tests use to hand the
+    algorithms pathological coins (stuck, opposing) while keeping the rest
+    of the harness identical.  They are test-only knobs and deliberately not
+    part of :class:`ExperimentConfig` (they would not belong in a sweep-plan
+    fingerprint).
+    """
     topology = config.topology
     rng = RandomSource(config.seed)
     kernel = SimulationKernel(config=config.sim, rng=rng)
@@ -183,10 +208,18 @@ def run_consensus(config: ExperimentConfig) -> RunResult:
     needs_local_coin = config.algorithm in ("hybrid-local-coin", "ben-or", "mm-local-coin")
     local_coins: Dict[int, LocalCoin] = {}
     if needs_local_coin:
-        local_coins = {pid: LocalCoin(rng.stream("local-coin", pid)) for pid in topology.process_ids()}
+        if local_coin_factory is not None:
+            local_coins = {pid: local_coin_factory(pid) for pid in topology.process_ids()}
+        else:
+            local_coins = {
+                pid: LocalCoin(rng.stream("local-coin", pid)) for pid in topology.process_ids()
+            }
 
     needs_common_coin = config.algorithm in ("hybrid-common-coin", "mp-common-coin")
-    common_coin = CommonCoin(seed=config.seed) if needs_common_coin else None
+    if needs_common_coin and common_coin is None:
+        common_coin = CommonCoin(seed=config.seed)
+    if not needs_common_coin:
+        common_coin = None
 
     for pid in topology.process_ids():
         algorithm = _build_algorithm(
@@ -195,6 +228,8 @@ def run_consensus(config: ExperimentConfig) -> RunResult:
         kernel.add_process(pid, algorithm.run)
 
     config.failure_pattern.install(kernel)
+    if config.scenario is not None:
+        kernel.install_adversary(Adversary(config.scenario, rng.stream("adversary")))
 
     started = _time.perf_counter()
     sim_result = kernel.run()
@@ -212,8 +247,12 @@ def run_consensus(config: ExperimentConfig) -> RunResult:
         network=network,
         memories=all_memories,
         wall_time_seconds=wall,
+        delay_model=config.delay_model.describe(),
+        scenario=config.scenario.name if config.scenario is not None else "none",
     )
-    expected = termination_expected(config.algorithm, topology, config.failure_pattern)
+    expected = termination_expected(
+        config.algorithm, topology, config.failure_pattern, config.scenario
+    )
     report = verify_run(sim_result, proposals, topology, termination_expected=expected)
 
     return RunResult(

@@ -6,6 +6,11 @@ arbitrary (randomly sampled) finite time, and are therefore not necessarily
 delivered in send order.  The kernel consults :meth:`Network.sample_delay`
 when it handles a send effect; this class also keeps the traffic counters
 used by the benchmark harness.
+
+Reliability can be revoked deliberately: when a fault-injection adversary
+(:mod:`repro.adversary`) is installed in the kernel, sends it omits and
+copies it duplicates are accounted here through :meth:`Network.record_fault`
+-- the network's one adversary hook.
 """
 
 from __future__ import annotations
@@ -26,6 +31,11 @@ class TrafficStats:
     messages_sent: int = 0
     messages_delivered: int = 0
     bytes_sent: int = 0
+    #: Adversary-injected channel faults (see :meth:`Network.record_fault`):
+    #: sends dropped by omission/partition faults, and extra copies injected
+    #: by duplication faults.  Both stay 0 without an installed adversary.
+    messages_omitted: int = 0
+    messages_duplicated: int = 0
     sent_by_process: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     delivered_to_process: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     sent_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
@@ -35,6 +45,8 @@ class TrafficStats:
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
             "bytes_sent": self.bytes_sent,
+            "messages_omitted": self.messages_omitted,
+            "messages_duplicated": self.messages_duplicated,
             "sent_by_kind": dict(self.sent_by_kind),
         }
 
@@ -83,6 +95,21 @@ class Network:
         """Account for a delivery (called by the kernel)."""
         self.stats.messages_delivered += 1
         self.stats.delivered_to_process[message.dest] += 1
+
+    def record_fault(self, kind: str) -> None:
+        """Account one adversary-injected channel fault (called by the kernel).
+
+        ``kind`` is ``"omitted"`` for a send the adversary dropped (omission
+        or partition fault) or ``"duplicated"`` for each extra copy it
+        injected.  This is the network's single adversary hook: the channel
+        itself stays reliable unless the kernel's adversary says otherwise.
+        """
+        if kind == "omitted":
+            self.stats.messages_omitted += 1
+        elif kind == "duplicated":
+            self.stats.messages_duplicated += 1
+        else:
+            raise ValueError(f"unknown fault kind {kind!r}; expected 'omitted' or 'duplicated'")
 
     def _validate_pid(self, pid: int) -> None:
         if not 0 <= pid < self.n:

@@ -49,6 +49,27 @@ class ProcessStart(Event):
     pid: int
 
 
+@dataclass(frozen=True)
+class ProcessPause(Event):
+    """Begin a transient outage: the process takes no steps until it recovers.
+
+    Unlike :class:`ProcessCrash`, the process's state (generator, mailbox,
+    pending wait) is preserved; steps and deliveries arriving while paused
+    are buffered and replayed at the matching :class:`ProcessRecover`.  Used
+    by the crash-recovery fault primitive
+    (:class:`~repro.adversary.faults.CrashRecovery`).
+    """
+
+    pid: int
+
+
+@dataclass(frozen=True)
+class ProcessRecover(Event):
+    """End a transient outage: replay the events buffered while paused."""
+
+    pid: int
+
+
 @dataclass(order=True)
 class ScheduledEvent:
     """A queue entry: an :class:`Event` scheduled at a virtual ``time``."""
@@ -85,5 +106,6 @@ class TraceEntry:
     detail: str
 
     def format(self) -> str:
+        """Render the entry as one aligned, human-readable trace line."""
         pid = "-" if self.pid is None else str(self.pid)
         return f"[{self.time:12.6f}] #{self.sequence:<8d} p{pid:<4s} {self.kind:<12s} {self.detail}"

@@ -5,6 +5,13 @@ and the links to the message-passing and shared-memory substrates.  It is an
 *asynchronous adversary*: the interleaving of process steps and the delivery
 order of messages are controlled entirely by the (seeded) event schedule, so
 the algorithms can assume nothing beyond what the paper's model grants them.
+
+An explicit fault-injection adversary (:mod:`repro.adversary`) can sharpen
+that further: when installed, it is consulted at message-send time (omission,
+duplication, reordering, partitions) and at event-dispatch time (per-process
+slowdowns), and may schedule transient outages via
+:meth:`SimulationKernel.schedule_pause`.  With no adversary installed those
+hooks cost one ``is None`` check per event and nothing else.
 """
 
 from __future__ import annotations
@@ -27,6 +34,8 @@ from .events import (
     Event,
     MessageDelivery,
     ProcessCrash,
+    ProcessPause,
+    ProcessRecover,
     ProcessStart,
     ScheduledEvent,
     StepResume,
@@ -123,6 +132,7 @@ class SimulationKernel:
         self._sequence = 0
         self._processes: Dict[int, SimProcess] = {}
         self._network = None
+        self._adversary = None
         self.events_processed = 0
         self.dropped_deliveries = 0
         self._sched_rng = self.rng.stream("kernel", "jitter")
@@ -133,6 +143,8 @@ class SimulationKernel:
             StepResume: self._handle_resume,
             MessageDelivery: self._handle_delivery,
             ProcessCrash: self._handle_crash,
+            ProcessPause: self._handle_pause,
+            ProcessRecover: self._handle_recover,
         }
         self._effect_handlers: Dict[type, Callable[[SimProcess, Any], None]] = {
             SendEffect: self._do_send,
@@ -146,8 +158,29 @@ class SimulationKernel:
         """Attach the message-passing substrate used to time deliveries."""
         self._network = network
 
+    def install_adversary(self, adversary) -> None:
+        """Install a fault-injection adversary (see :mod:`repro.adversary`).
+
+        The adversary is consulted at message-send time (which delivery
+        delays a send turns into) and at event-dispatch time (whether an
+        event is deferred), and may schedule pause/recover events through
+        :meth:`schedule_pause`.  Must be called after every process is
+        registered; with no adversary installed the kernel pays nothing
+        beyond one ``is None`` check per event.
+        """
+        if self._adversary is not None:
+            raise RuntimeError("an adversary is already installed")
+        adversary.install(self)
+        self._adversary = adversary
+
+    @property
+    def adversary(self):
+        """The installed fault-injection adversary, or ``None``."""
+        return self._adversary
+
     @property
     def network(self):
+        """The attached message-passing substrate, or ``None``."""
         return self._network
 
     def add_process(self, pid: int, factory: Callable[[ProcessContext], Any]) -> SimProcess:
@@ -168,15 +201,26 @@ class SimulationKernel:
             raise ValueError("crash time must be non-negative")
         self._schedule(time, ProcessCrash(pid=pid))
 
+    def schedule_pause(self, pid: int, down_at: float, up_at: float) -> None:
+        """Schedule a transient outage of ``pid`` during ``[down_at, up_at)``."""
+        if pid not in self._processes:
+            raise KeyError(f"unknown process id {pid}")
+        if down_at < 0 or up_at <= down_at:
+            raise ValueError(f"need 0 <= down_at < up_at, got [{down_at}, {up_at})")
+        self._schedule(down_at, ProcessPause(pid=pid))
+        self._schedule(up_at, ProcessRecover(pid=pid))
+
     def process_ids(self) -> List[int]:
         """All registered process ids, in ascending order."""
         return sorted(self._processes)
 
     def process(self, pid: int) -> SimProcess:
+        """The kernel-side record of process ``pid``."""
         return self._processes[pid]
 
     @property
     def processes(self) -> Dict[int, SimProcess]:
+        """A snapshot of the registered processes, keyed by pid."""
         return dict(self._processes)
 
     # ------------------------------------------------------------- scheduling
@@ -199,6 +243,7 @@ class SimulationKernel:
             raise RuntimeError("no processes registered")
         queue = self._queue
         trace = self.trace
+        adversary = self._adversary
         max_time = self.config.max_time
         while queue:
             entry = heapq.heappop(queue)
@@ -207,6 +252,11 @@ class SimulationKernel:
                 return self._result(RunStatus.TIMEOUT)
             if entry.time > self.now:
                 self.now = entry.time
+            if adversary is not None:
+                extra = adversary.defer(entry.event, self.now)
+                if extra > 0.0:
+                    self._schedule(self.now + extra, entry.event)
+                    continue
             self.events_processed += 1
             if trace.enabled:
                 trace.record(self.now, "event", self._event_pid(entry.event), describe(entry.event))
@@ -246,6 +296,11 @@ class SimulationKernel:
         proc = self._processes[event.pid]
         if proc.state is ProcessState.CRASHED:
             return
+        if proc.paused:
+            # A deferred start racing into an outage waits it out like any
+            # other step: a down process must not execute, let alone send.
+            proc.paused_backlog.append(event)
+            return
         proc.start()
         self._advance(proc, None)
 
@@ -253,12 +308,18 @@ class SimulationKernel:
         proc = self._processes[event.pid]
         if proc.state.is_terminal():
             return
+        if proc.paused:
+            proc.paused_backlog.append(event)
+            return
         self._advance(proc, event.value)
 
     def _handle_delivery(self, event: MessageDelivery) -> None:
         proc = self._processes[event.pid]
         if proc.state is ProcessState.CRASHED:
             self.dropped_deliveries += 1
+            return
+        if proc.paused:
+            proc.paused_backlog.append(event)
             return
         proc.deliver(event.message)
         if self._network is not None:
@@ -282,6 +343,35 @@ class SimulationKernel:
         proc.state = ProcessState.CRASHED
         proc.crash_time = self.now
         proc.wait_predicate = None
+
+    def _handle_pause(self, event: ProcessPause) -> None:
+        """Begin a transient outage (see :class:`~repro.sim.events.ProcessPause`)."""
+        proc = self._processes[event.pid]
+        if proc.state.is_terminal() or proc.paused:
+            return
+        proc.paused = True
+        if self.trace.enabled:
+            self.trace.record(self.now, "pause", proc.pid, "transient outage begins")
+
+    def _handle_recover(self, event: ProcessRecover) -> None:
+        """End a transient outage: replay the backlog in its buffered order.
+
+        Replayed events are re-queued at the current time (the buffered
+        order is preserved by the queue's sequence tie-break); the regular
+        handlers then apply the usual state checks, so a process that
+        crashed for good while paused still drops its backlog.
+        """
+        proc = self._processes[event.pid]
+        if not proc.paused:
+            return
+        proc.paused = False
+        backlog, proc.paused_backlog = proc.paused_backlog, []
+        for pending in backlog:
+            self._schedule(self.now, pending)
+        if self.trace.enabled:
+            self.trace.record(
+                self.now, "recover", proc.pid, f"replaying {len(backlog)} buffered event(s)"
+            )
 
     # ----------------------------------------------------------- process steps
     def _advance(self, proc: SimProcess, value: Any) -> None:
@@ -322,8 +412,28 @@ class SimulationKernel:
         delay = self._network.sample_delay(sender=proc.pid, dest=effect.dest)
         if self.trace.enabled:
             self.trace.record(self.now, "send", proc.pid, f"to={effect.dest} {effect.payload!r}")
-        self._schedule(self.now + delay, MessageDelivery(pid=effect.dest, message=message))
+        if self._adversary is None:
+            self._schedule(self.now + delay, MessageDelivery(pid=effect.dest, message=message))
+        else:
+            self._adversarial_send(proc.pid, effect.dest, message, delay)
         self._resume_later(proc.pid, None, self.config.local_step_delay)
+
+    def _adversarial_send(self, sender: int, dest: int, message: Any, delay: float) -> None:
+        """Turn one send into the adversary's delivery verdict (slow path).
+
+        An empty verdict omits the message, extra entries are duplicates;
+        the network's fault counters account for both.
+        """
+        delays = self._adversary.deliveries(sender, dest, self.now, delay)
+        if not delays:
+            self._network.record_fault("omitted")
+            if self.trace.enabled:
+                self.trace.record(self.now, "omit", dest, f"from={sender} dropped by adversary")
+            return
+        for position, one_delay in enumerate(delays):
+            if position:
+                self._network.record_fault("duplicated")
+            self._schedule(self.now + one_delay, MessageDelivery(pid=dest, message=message))
 
     def _do_sm_op(self, proc: SimProcess, effect: SharedMemEffect) -> None:
         result = effect.operation(*effect.args)

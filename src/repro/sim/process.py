@@ -19,6 +19,7 @@ class ProcessState(enum.Enum):
     HALTED = "halted"
 
     def is_terminal(self) -> bool:
+        """Whether a process in this state can take no further step."""
         return self in (ProcessState.CRASHED, ProcessState.DECIDED, ProcessState.HALTED)
 
 
@@ -43,6 +44,11 @@ class SimProcess:
     crash_time: Optional[float] = None
     halt_reason: Optional[str] = None
     started: bool = False
+    #: Transient-outage flag (see :class:`~repro.sim.events.ProcessPause`):
+    #: while paused, step and delivery events are buffered in
+    #: ``paused_backlog`` and replayed at recovery.
+    paused: bool = False
+    paused_backlog: List[Any] = field(default_factory=list)
 
     def start(self) -> None:
         """Instantiate the algorithm generator (first activation)."""
@@ -58,6 +64,7 @@ class SimProcess:
 
     @property
     def has_decided(self) -> bool:
+        """Whether the process terminated by deciding a value."""
         return self.state is ProcessState.DECIDED
 
     def deliver(self, message: Any) -> None:

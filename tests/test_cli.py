@@ -25,7 +25,7 @@ def run_cli(capsys, *argv):
 def test_list_names_every_experiment(capsys):
     code, out, _ = run_cli(capsys, "list")
     assert code == 0
-    for experiment in ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"):
+    for experiment in ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"):
         assert experiment in out
 
 
@@ -96,6 +96,44 @@ def test_merge_summary_without_report_flag(tmp_path, capsys):
     assert code == 0
     assert "figure1-right/hybrid-local-coin" in out
     assert "termination_rate" in out
+
+
+E9_ARGS = ["--seeds", "2", "--max-workers", "1", "--scenario", "lossy-links"]
+
+
+def test_run_e9_with_scenario_restriction(capsys):
+    from repro.experiments import e9_adversary
+
+    code, out, _ = run_cli(capsys, "run", "e9", *E9_ARGS)
+    assert code == 0
+    direct = e9_adversary.run(
+        seeds=default_seeds(2), scenarios=("lossy-links",), max_workers=1
+    )
+    assert out.strip() == direct.format().strip()
+
+
+def test_scenario_restricted_e9_shards_and_merges(tmp_path, capsys):
+    out_dir = str(tmp_path / "runs")
+    for shard in ("2/2", "1/2"):
+        code, _, _ = run_cli(capsys, "run", "e9", *E9_ARGS, "--shard", shard, "--out", out_dir)
+        assert code == 0
+    code, merged_out, _ = run_cli(capsys, "merge", out_dir, "--report")
+    assert code == 0
+    code, direct_out, _ = run_cli(capsys, "run", "e9", *E9_ARGS)
+    assert code == 0
+    assert merged_out == direct_out
+
+
+def test_scenario_on_non_e9_experiment_is_an_error(capsys):
+    code, _, err = run_cli(capsys, "run", "e1", "--scenario", "lossy-links")
+    assert code == 2
+    assert "does not take --scenario" in err
+
+
+def test_unknown_scenario_is_an_error(capsys):
+    code, _, err = run_cli(capsys, "run", "e9", "--scenario", "no-such-fault")
+    assert code == 2
+    assert "unknown scenario" in err and "lossy-links" in err
 
 
 def test_shard_without_out_is_an_error(capsys):

@@ -120,6 +120,16 @@ def test_install_schedules_crashes_into_kernel():
     assert 0 in result.crashed and 1 in result.correct
 
 
+def test_install_rejects_pid_out_of_range_with_clear_error():
+    from repro.sim.kernel import SimulationKernel
+
+    kernel = SimulationKernel(seed=0)
+    kernel.add_process(0, lambda ctx: iter(()))
+    kernel.add_process(1, lambda ctx: iter(()))
+    with pytest.raises(ValueError, match=r"crashes process ids \[2, 5\].*has processes \[0, 1\]"):
+        FailurePattern({2: 1.0, 5: 0.5, 0: 1.0}).install(kernel)
+
+
 def test_repr_lists_crashes():
     text = repr(FailurePattern({2: 1.0, 0: 3.0}))
     assert "0@3" in text and "2@1" in text

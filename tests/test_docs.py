@@ -16,6 +16,7 @@ def test_front_door_documents_exist():
     for relative in (
         "README.md",
         "docs/experiments.md",
+        "docs/simulator.md",
         "examples/README.md",
         "src/repro/harness/README.md",
     ):
@@ -34,8 +35,15 @@ def test_all_relative_markdown_links_resolve():
     )
 
 
-def test_experiments_doc_covers_all_eight_drivers():
+def test_experiments_doc_covers_all_nine_drivers():
     text = (REPO_ROOT / "docs" / "experiments.md").read_text()
-    for experiment in ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"):
+    for experiment in ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"):
         assert f"## {experiment} — " in text, f"docs/experiments.md lacks a section for {experiment}"
     assert "--shard" in text and "merge" in text  # the sharded form is documented
+    assert "--scenario" in text  # e9's scenario restriction is documented
+
+
+def test_simulator_doc_covers_the_internals():
+    text = (REPO_ROOT / "docs" / "simulator.md").read_text()
+    for topic in ("event loop", "effect", "delay model", "adversary"):
+        assert topic in text.lower(), f"docs/simulator.md lacks the {topic!r} topic"

@@ -1,4 +1,4 @@
-"""Tests of the experiment modules E1–E8 (small seed counts for speed)."""
+"""Tests of the experiment modules E1–E9 (small seed counts for speed)."""
 
 import pytest
 
@@ -13,6 +13,7 @@ from repro.experiments import (
     e6_degenerate,
     e7_indulgence,
     e8_scalability,
+    e9_adversary,
 )
 
 SEEDS = default_seeds(3)
@@ -38,8 +39,8 @@ def test_experiment_report_helpers():
     assert "X" in text and "hello" in text and "PASSED" in text
 
 
-def test_registry_contains_all_eight_experiments():
-    assert sorted(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 9)]
+def test_registry_contains_all_nine_experiments():
+    assert sorted(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 10)]
     for module in ALL_EXPERIMENTS.values():
         assert hasattr(module, "run") and hasattr(module, "main")
         assert isinstance(module.PAPER_CLAIM, str) and module.PAPER_CLAIM
@@ -99,6 +100,17 @@ def test_e7_indulgence_reproduces():
     assert report.passed
     assert all(row["safety_rate"] == 1.0 for row in report.rows)
     assert all(not row["termination_expected"] for row in report.rows)
+
+
+def test_e9_adversary_reproduces():
+    report = e9_adversary.run(
+        seeds=SEEDS, scenarios=("none", "lossy-links", "partition-drop"), intensities=(0.3,)
+    )
+    assert report.passed
+    assert all(row["safety_rate"] == 1.0 for row in report.rows)
+    assert report.row_where(scenario="none")["termination_rate"] == 1.0
+    lossy = report.row_where(scenario="lossy-links")
+    assert not lossy["liveness_preserving"] and lossy["mean_omitted"] > 0
 
 
 def test_e8_scalability_reproduces():
