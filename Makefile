@@ -4,7 +4,8 @@
 #   make bench-smoke    - benchmark files with timing disabled (fast sanity)
 #   make bench          - full benchmark run with timings
 #   make lint           - ruff check (skips with a notice when ruff is absent)
-#   make examples-smoke - run the quickstart, adversary-tour + sharded-sweep examples
+#   make examples-smoke - run the quickstart, adversary-tour, sharded-sweep
+#                         + work-stealing examples
 #   make linkcheck      - verify relative links in README.md / docs / READMEs
 
 PYTHON ?= python
@@ -33,6 +34,7 @@ examples-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) examples/quickstart.py
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) examples/adversary_tour.py
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) examples/sharded_sweep.py
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) examples/work_stealing.py
 
 linkcheck:
 	$(PYTHON) scripts/check_markdown_links.py

@@ -1,0 +1,74 @@
+"""Benchmark the work-stealing coordinator's scheduling overhead.
+
+The lease protocol adds filesystem work around every sweep point: a plan
+header, an atomic lease claim, a heartbeat thread, a provenance-stamped
+checkpoint and a worker manifest rewrite.  The contract is that all of it
+together stays small next to the simulations themselves: a single-worker
+``run_work_stealing`` of an E1-style plan must finish within 1.5x the
+plain in-process ``run_plan`` of the same plan (same ``max_workers=1``
+execution underneath, so the difference *is* the coordinator).
+
+Like every timing gate in this repo, the hard assert is live only in
+dedicated benchmark runs (``make bench``, i.e. ``--benchmark-only``) with
+at least 4 usable CPUs; plain CI executions only smoke the code paths.
+"""
+
+import tempfile
+
+from repro.experiments import e1_figure1
+from repro.experiments.common import default_seeds
+from repro.harness.coordinator import merge_stolen, run_work_stealing
+from repro.harness.distributed import run_plan
+
+SEEDS = default_seeds(6)
+OVERHEAD_LIMIT = 1.5
+
+
+def _plain():
+    return run_plan(e1_figure1.plan(seeds=SEEDS), max_workers=1)
+
+
+def _stolen(out_dir):
+    run_work_stealing(
+        e1_figure1.plan(seeds=SEEDS), out_dir, worker="bench", max_workers=1
+    )
+    return merge_stolen(out_dir, e1_figure1.plan(seeds=SEEDS)).aggregates
+
+
+def test_bench_work_stealing_overhead(benchmark, timed, strict_timing):
+    # Best-of-N when the gate is live, so one scheduling hiccup (a slow
+    # fsync, a noisy neighbour) cannot fail the perf gate on its own.
+    samples = 3 if strict_timing else 1
+
+    plain, plain_seconds = timed(_plain)
+    for _ in range(samples - 1):
+        _, seconds = timed(_plain)
+        plain_seconds = min(plain_seconds, seconds)
+
+    def stolen_run():
+        with tempfile.TemporaryDirectory() as out_dir:
+            return timed(lambda: _stolen(out_dir))
+
+    stolen, stolen_seconds = benchmark.pedantic(
+        stolen_run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    for _ in range(samples - 1):
+        _, seconds = stolen_run()
+        stolen_seconds = min(stolen_seconds, seconds)
+
+    ratio = stolen_seconds / max(plain_seconds, 1e-9)
+    print()
+    print(
+        f"run_plan: {plain_seconds:.3f}s  run_work_stealing+merge: "
+        f"{stolen_seconds:.3f}s  ratio: {ratio:.2f}x (limit {OVERHEAD_LIMIT}x)"
+    )
+
+    # Whatever the clock says, the coordinator must not change one bit.
+    assert set(stolen) == set(plain)
+    for label, aggregate in plain.items():
+        assert stolen[label] == aggregate
+
+    if strict_timing:
+        assert ratio <= OVERHEAD_LIMIT, (
+            f"work-stealing overhead {ratio:.2f}x exceeds {OVERHEAD_LIMIT}x"
+        )

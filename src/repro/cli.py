@@ -1,20 +1,26 @@
-"""The ``python -m repro`` command line: run, shard, resume and merge experiments.
+"""The ``python -m repro`` command line: run, shard, steal and merge experiments.
 
 Four subcommands, designed so one sweep can span several machines with no
 coordination beyond a shared (or later collected) output directory::
 
     python -m repro list                     # what experiments exist
     python -m repro run e8                   # single host: run + print report
-    python -m repro run e8 --shard 2/4 --out runs/   # this host's quarter
-    python -m repro status runs/             # shard progress at a glance
-    python -m repro merge runs/ --report     # fold shards, print the report
+    python -m repro run e8 --shard 2/4 --out runs/   # this host's fixed quarter
+    python -m repro run e8 --steal --out runs/       # dynamic: claim and steal
+    python -m repro status runs/             # progress at a glance
+    python -m repro merge runs/ --report     # fold the directory, print report
 
-``run --shard`` writes one checkpoint per completed sweep point, so a killed
-shard re-invoked with the same command resumes instead of restarting.  Every
-host must build the same plan, which is why ``run`` exposes the experiment
-name and the seed count only -- both map deterministically to the plan; the
-seed list itself travels in the shard manifests, so ``merge`` needs nothing
-but the directory.
+``run --shard`` splits the sweep statically (round-robin by run index) and
+writes one checkpoint per completed sweep point, so a killed shard re-invoked
+with the same command resumes instead of restarting.  ``run --steal`` replaces
+the fixed split with the work-stealing coordinator: each worker claims
+un-started sweep points via atomic leases in the shared directory and steals
+points whose leases expire, so a slow or dead host sheds its unfinished work
+(see ``docs/distributed.md``).  Either way, every host must build the same
+plan, which is why ``run`` exposes the experiment name and the seed count
+only -- both map deterministically to the plan; the seed list itself travels
+in the on-disk artifacts, so ``merge`` and ``status`` need nothing but the
+directory.
 """
 
 from __future__ import annotations
@@ -28,6 +34,14 @@ from typing import List, Optional, Sequence
 from .adversary.library import scenario_names
 from .experiments import ALL_EXPERIMENTS
 from .experiments.common import default_seeds, run_planned
+from .harness.coordinator import (
+    DEFAULT_LEASE_TTL,
+    is_steal_dir,
+    merge_stolen,
+    read_plan_header,
+    run_work_stealing,
+    steal_status,
+)
 from .harness.distributed import (
     ShardError,
     ShardSpec,
@@ -99,6 +113,45 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         scenarios = (args.scenario,)
     module, plan = _build_plan(args.experiment, args.seeds, scenarios=scenarios)
+    if args.steal and args.shard is not None:
+        raise ShardError(
+            "--steal and --shard are mutually exclusive: a directory is scheduled "
+            "either dynamically (leases) or statically (round-robin), never both"
+        )
+    if not args.steal and (
+        args.worker is not None or args.lease_ttl is not None or args.max_points is not None
+    ):
+        raise ShardError("--worker, --lease-ttl and --max-points only apply with --steal")
+    if args.steal:
+        if args.out is None:
+            raise ShardError("--steal needs --out DIR to hold the leases and checkpoints")
+        result = run_work_stealing(
+            plan,
+            args.out,
+            worker=args.worker,
+            lease_ttl=DEFAULT_LEASE_TTL if args.lease_ttl is None else args.lease_ttl,
+            max_workers=args.max_workers,
+            max_points=args.max_points,
+        )
+        print(
+            f"worker {result.worker} of {plan.key}: "
+            f"{len(result.computed)} points computed ({result.runs_executed} runs), "
+            f"{len(result.stolen)} stolen, {len(result.already_done)} already done"
+        )
+        for label in result.executed:
+            print(f"  computed  {label}")
+        for label in result.stolen:
+            print(f"  stolen    {label}")
+        for label in result.already_done:
+            print(f"  done      {label}")
+        for label in result.lost:
+            print(f"  lost      {label}  (a thief checkpointed it first)")
+        for label in result.left_behind:
+            print(f"  left      {label}  (leased by a live worker, or out of --max-points)")
+        print(f"worker manifest: {result.manifest}")
+        print(f"progress:  python -m repro status {result.out_dir}")
+        print(f"when every point is done:  python -m repro merge {result.out_dir} --report")
+        return 0
     if args.shard is not None and args.out is None:
         raise ShardError("--shard needs --out DIR to hold the manifest and checkpoints")
     if args.out is not None:
@@ -122,29 +175,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
-    manifests = read_manifests(args.out_dir)
-    experiment = manifests[0].get("experiment")
+    recorded = (
+        read_plan_header(args.out_dir)
+        if is_steal_dir(args.out_dir)
+        else read_manifests(args.out_dir)[0]
+    )
+    experiment = recorded.get("experiment")
     if not experiment:
         raise ShardError(
-            f"shards in {args.out_dir} were not produced by the CLI (no experiment "
-            f"recorded); merge them with repro.harness.distributed.merge_shards and "
-            f"the plan that produced them"
+            f"artifacts in {args.out_dir} were not produced by the CLI (no experiment "
+            f"recorded); merge them with repro.harness.distributed.merge_shards (or "
+            f"repro.harness.coordinator.merge_stolen) and the plan that produced them"
         )
     module, plan = _build_plan(
         experiment,
         None,
-        seeds=list(manifests[0]["seeds"]),
-        scenarios=manifests[0].get("scenarios"),
+        seeds=list(recorded["seeds"]),
+        scenarios=recorded.get("scenarios"),
         require_scenarios=False,
     )
-    merged = merge_shards(args.out_dir, plan)
+    if is_steal_dir(args.out_dir):
+        merged = merge_stolen(args.out_dir, plan)
+        source = f"{merged.shard_count} worker(s)"
+    else:
+        merged = merge_shards(args.out_dir, plan)
+        source = f"{merged.shard_count} shard(s)"
     if args.report:
         print(module.build_report(merged.plan, merged.aggregates).format())
         return 0
     print(
         format_aggregates(
             merged.aggregates,
-            title=f"{plan.key}: {merged.shard_count} shard(s), "
+            title=f"{plan.key}: {source}, "
             f"{plan.total_runs} runs over {len(plan.points)} points",
         )
     )
@@ -154,6 +216,18 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
+    if is_steal_dir(args.out_dir):
+        status = steal_status(args.out_dir)
+        print(
+            f"{status.experiment or status.plan_key or '?'}: "
+            f"{status.done}/{status.points_total} points done "
+            f"({status.stolen} stolen), {status.leased} leased, "
+            f"{status.orphaned} orphaned, {status.unclaimed} unclaimed"
+        )
+        if status.workers:
+            print()
+            print(format_records(status.workers))
+        return 0
     rows = []
     for manifest in read_manifests(args.out_dir):
         points = manifest["points"]
@@ -199,12 +273,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--shard", default=None, metavar="I/K",
-        help="execute only shard I of K (1-based); every host must use the same experiment and --seeds",
+        help="execute only shard I of K (1-based, static round-robin); every host must "
+        "use the same experiment and --seeds",
+    )
+    run_parser.add_argument(
+        "--steal", action="store_true",
+        help="dynamic scheduling instead of --shard: claim un-started sweep points via "
+        "atomic leases in --out and steal points whose leases expire, so slow or dead "
+        "workers shed their unfinished work; any number of workers may share DIR",
     )
     run_parser.add_argument(
         "--out", default=None, metavar="DIR",
-        help="directory for shard manifests and per-point checkpoints (required with --shard; "
-        "re-running with the same DIR resumes from the checkpoints)",
+        help="directory for manifests, leases and per-point checkpoints (required with "
+        "--shard/--steal; re-running with the same DIR resumes from the checkpoints)",
+    )
+    run_parser.add_argument(
+        "--worker", default=None, metavar="NAME",
+        help="worker identity for --steal lease files (default: <hostname>-<pid>)",
+    )
+    run_parser.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help=f"--steal only: how long a silent worker's lease lasts before any other "
+        f"worker may steal the point (default {DEFAULT_LEASE_TTL:g}s; leases are "
+        f"renewed by heartbeat every TTL/4 while a point is computing)",
+    )
+    run_parser.add_argument(
+        "--max-points", type=int, default=None, metavar="N",
+        help="--steal only: compute at most N sweep points in this invocation "
+        "(a bounded work grant), then exit",
     )
     run_parser.add_argument(
         "--max-workers", type=int, default=None, metavar="W",
@@ -213,17 +309,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.set_defaults(func=_cmd_run)
 
     merge_parser = commands.add_parser(
-        "merge", help="fold all shards in DIR into the single-host result"
+        "merge", help="fold all shards or work-stealing workers in DIR into the single-host result"
     )
-    merge_parser.add_argument("out_dir", metavar="DIR", help="directory holding every shard's output")
+    merge_parser.add_argument("out_dir", metavar="DIR", help="directory holding every worker's output")
     merge_parser.add_argument(
         "--report", action="store_true",
         help="print the full experiment report (identical to an unsharded run)",
     )
     merge_parser.set_defaults(func=_cmd_merge)
 
-    status_parser = commands.add_parser("status", help="show per-shard progress in DIR")
-    status_parser.add_argument("out_dir", metavar="DIR", help="directory holding shard manifests")
+    status_parser = commands.add_parser(
+        "status",
+        help="show progress in DIR: per-shard counts, or for work-stealing runs the "
+        "done/leased/stolen/orphaned point counts and per-worker table",
+    )
+    status_parser.add_argument(
+        "out_dir", metavar="DIR", help="directory holding shard manifests or a plan header"
+    )
     status_parser.set_defaults(func=_cmd_status)
     return parser
 

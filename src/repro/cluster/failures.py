@@ -39,6 +39,7 @@ class FailurePattern:
         return {pid for pid in range(n) if pid not in self.crashes}
 
     def crash_count(self) -> int:
+        """How many distinct processes this pattern crashes."""
         return len(self.crashes)
 
     def crashes_majority(self, n: int) -> bool:

@@ -62,9 +62,11 @@ class ClusterTopology:
 
     @property
     def cluster_sizes(self) -> Tuple[int, ...]:
+        """Member count of each cluster, in cluster-index order."""
         return tuple(len(members) for members in self._clusters)
 
     def process_ids(self) -> range:
+        """All process ids of the system, ``0 .. n-1``."""
         return range(self._n)
 
     # --------------------------------------------------------------- queries
@@ -84,6 +86,7 @@ class ClusterTopology:
         return self._clusters[index]
 
     def same_cluster(self, pid_a: int, pid_b: int) -> bool:
+        """Whether two processes share a cluster (and therefore its memory)."""
         return self.cluster_index_of(pid_a) == self.cluster_index_of(pid_b)
 
     def is_majority(self, count: int) -> bool:

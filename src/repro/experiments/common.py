@@ -39,9 +39,11 @@ class ExperimentReport:
     passed: Optional[bool] = None
 
     def add_row(self, **fields: Any) -> None:
+        """Append one result row (column name -> value)."""
         self.rows.append(dict(fields))
 
     def add_note(self, note: str) -> None:
+        """Append a free-form note printed below the result table."""
         self.notes.append(note)
 
     def column(self, name: str) -> List[Any]:
@@ -56,6 +58,7 @@ class ExperimentReport:
         raise KeyError(f"no row matching {criteria!r}")
 
     def format(self, precision: int = 2) -> str:
+        """The printable report: title, claim, rows, notes and verdict."""
         lines = [f"=== {self.experiment_id}: {self.title} ===", f"Paper claim: {self.paper_claim}"]
         if self.rows:
             lines.append(format_records(self.rows, precision=precision))

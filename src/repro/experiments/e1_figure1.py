@@ -97,6 +97,7 @@ def run(
 
 
 def main() -> None:  # pragma: no cover - convenience entry point
+    """Run the experiment with default parameters and print its report."""
     print(run().format())
 
 

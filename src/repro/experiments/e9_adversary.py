@@ -148,6 +148,7 @@ def run(
 
 
 def main() -> None:  # pragma: no cover
+    """Run the experiment with default parameters and print its report."""
     print(run().format())
 
 

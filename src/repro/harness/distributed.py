@@ -53,7 +53,7 @@ import json
 import os
 import pickle
 import re
-import warnings
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -74,8 +74,11 @@ from .sweep import SweepPoint, SweepResult, grid_points, variation_points
 #: of merging garbage.  Version 2 added the ``delay_models`` / ``scenarios``
 #: provenance fields (and configs grew the fault-injection ``scenario``
 #: field, changing every fingerprint), so version-1 artifacts cannot merge
-#: with version-2 ones anyway.
-MANIFEST_VERSION = 2
+#: with version-2 ones anyway.  Version 3 added the work-stealing scheduler
+#: (:mod:`~repro.harness.coordinator`): manifests and checkpoints record
+#: schedule/worker/lease provenance, and steal directories gained the
+#: ``plan.json`` header and per-point lease files.
+MANIFEST_VERSION = 3
 
 #: The two run-numbering schemes a plan can use (see the module docstring).
 INDEXING_SCHEMES = ("per-point", "global")
@@ -338,8 +341,14 @@ def run_plan(
 
 # ------------------------------------------------------------- artifact IO
 def _atomic_write_bytes(path: Path, payload: bytes) -> None:
-    """Write ``path`` via a same-directory temp file + rename, never partially."""
-    tmp = path.with_name(path.name + ".tmp")
+    """Write ``path`` via a same-directory temp file + rename, never partially.
+
+    The temp name embeds the writer's pid and thread id: concurrent writers
+    of the *same* path (two work-stealing workers racing to checkpoint a
+    stolen point with bit-identical bytes) then each rename their own whole
+    file, so readers see one complete version or the other, never a tear.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp")
     tmp.write_bytes(payload)
     os.replace(tmp, path)
 
@@ -411,7 +420,12 @@ def _load_checkpoint(path: Path, plan: SweepPlan, shard: ShardSpec, point_index:
 
 
 def _write_checkpoint(
-    path: Path, plan: SweepPlan, shard: ShardSpec, point_index: int, summaries: List[RunSummary]
+    path: Path,
+    plan: SweepPlan,
+    shard: ShardSpec,
+    point_index: int,
+    summaries: List[RunSummary],
+    provenance: Optional[Mapping[str, Any]] = None,
 ) -> None:
     payload = {
         "version": MANIFEST_VERSION,
@@ -421,6 +435,8 @@ def _write_checkpoint(
         "label": plan.points[point_index].label,
         "summaries": summaries,
     }
+    if provenance:
+        payload.update(provenance)
     _atomic_write_bytes(path, pickle.dumps(payload))
 
 
@@ -452,87 +468,17 @@ def run_shard(
     foreign checkpoints are recomputed with a warning.  The manifest is
     rewritten atomically after every point, so at any kill point the
     directory holds a resumable prefix of the shard's work.
+
+    Static sharding is the degenerate scheduler of the work-stealing claim
+    loop (:mod:`~repro.harness.coordinator`): ownership is fixed up front by
+    round-robin run index, every claim trivially succeeds, and nothing is
+    ever stolen.  For dynamic scheduling on heterogeneous fleets, see
+    :func:`~repro.harness.coordinator.run_work_stealing`.
     """
-    out = Path(out_dir)
-    out.mkdir(parents=True, exist_ok=True)
-    fingerprint = plan.fingerprint()
-    mpath = manifest_path(out, shard)
-    for existing_path in find_manifests(out):
-        existing = _load_manifest(existing_path)
-        if existing["fingerprint"] != fingerprint:
-            raise ManifestError(
-                f"{existing_path} belongs to a different plan (fingerprint "
-                f"{existing['fingerprint'][:12]}... != {fingerprint[:12]}...); "
-                f"every shard sharing an output directory must run the same "
-                f"experiment with the same seeds -- merge or clear that "
-                f"directory before reusing it"
-            )
+    from .coordinator import StaticShardScheduler, drive_claims
 
-    result = ShardRunResult(shard=shard, out_dir=out, manifest=mpath)
-    points_record: Dict[str, Dict[str, Any]] = {}
-
-    def write_manifest() -> None:
-        """Atomically rewrite the manifest with the progress so far."""
-        payload = {
-            "version": MANIFEST_VERSION,
-            "fingerprint": fingerprint,
-            "plan_key": plan.key,
-            "experiment": plan.experiment,
-            "indexing": plan.indexing,
-            "priority_backend": priority_backend(),
-            "delay_models": plan.delay_models(),
-            "scenarios": plan.scenario_names(),
-            "shard_index": shard.index,
-            "shard_count": shard.count,
-            "seeds": list(plan.seeds),
-            "labels": [point.label for point in plan.points],
-            "points": points_record,
-            "runs_total": sum(
-                len(plan.owned_positions(pi, shard)) for pi in range(len(plan.points))
-            ),
-            "runs_done": result.runs_executed + result.runs_resumed,
-        }
-        _atomic_write_bytes(mpath, json.dumps(payload, indent=2).encode("utf-8"))
-
-    with worker_pool(max_workers):
-        for point_index, point in enumerate(plan.points):
-            owned = plan.owned_positions(point_index, shard)
-            record: Dict[str, Any] = {"label": point.label, "runs": len(owned)}
-            points_record[str(point_index)] = record
-            if not owned:
-                result.skipped.append(point.label)
-                record["checkpoint"] = None
-                continue
-            cpath = checkpoint_path(out, shard, point_index)
-            if cpath.exists():
-                try:
-                    summaries = _load_checkpoint(cpath, plan, shard, point_index)
-                except ManifestError as error:
-                    warnings.warn(
-                        f"recomputing point {point.label!r}: {error}", RuntimeWarning
-                    )
-                else:
-                    result.resumed.append(point.label)
-                    result.runs_resumed += len(summaries)
-                    record["checkpoint"] = cpath.name
-                    write_manifest()
-                    continue
-            configs = [point.config.with_seed(plan.seeds[si]) for si in owned]
-            reducer = SummaryReducer(
-                entropy=plan.entropy,
-                start=plan.run_index(point_index, owned[0]),
-                step=shard.count,
-            )
-            summaries = run_many(
-                configs, max_workers=max_workers, check=point.check, reducer=reducer
-            )
-            _write_checkpoint(cpath, plan, shard, point_index, summaries)
-            result.executed.append(point.label)
-            result.runs_executed += len(summaries)
-            record["checkpoint"] = cpath.name
-            write_manifest()
-    write_manifest()
-    return result
+    scheduler = StaticShardScheduler(plan, shard, Path(out_dir))
+    return drive_claims(plan, scheduler, max_workers)
 
 
 # ----------------------------------------------------------------- merging
@@ -585,6 +531,46 @@ def read_manifests(out_dir: Union[str, Path]) -> List[Dict[str, Any]]:
     return manifests
 
 
+def check_merge_provenance(
+    recorded: Mapping[str, Any], plan: SweepPlan, out: Path, what: str = "shards"
+) -> None:
+    """Refuse merging artifacts whose recorded provenance contradicts ``plan``.
+
+    Shared by :func:`merge_shards` and the work-stealing
+    :func:`~repro.harness.coordinator.merge_stolen`.  The named provenance
+    fields come first: a delay-model or scenario mismatch would also trip
+    the fingerprint check below, but with an anonymous digest -- the
+    named-field error says *what* differs.
+    """
+    for field_name, plan_value in (
+        ("delay_models", plan.delay_models()),
+        ("scenarios", plan.scenario_names()),
+    ):
+        value = recorded.get(field_name)
+        if value is not None and list(value) != plan_value:
+            raise ManifestError(
+                f"{what} in {out} disagree with the merge plan on {field_name!r}: "
+                f"the {what} were produced under {value} but the plan has "
+                f"{plan_value}; {what} produced under different delay models or "
+                f"fault scenarios cannot be merged"
+            )
+    if recorded["fingerprint"] != plan.fingerprint():
+        hint = ""
+        recorded_backend = recorded.get("priority_backend")
+        if recorded_backend and recorded_backend != priority_backend():
+            hint = (
+                f" (the {what} were produced with the {recorded_backend!r} run-priority "
+                f"backend but this host uses {priority_backend()!r}; numpy availability "
+                f"must match between the worker hosts and the merge host)"
+            )
+        raise ManifestError(
+            f"{what} in {out} were produced by a different plan (fingerprint "
+            f"{recorded['fingerprint'][:12]}... != {plan.fingerprint()[:12]}...); "
+            f"rebuild the merge plan with the same experiment, seeds and parameters"
+            + hint
+        )
+
+
 def merge_shards(out_dir: Union[str, Path], plan: SweepPlan) -> MergedSweep:
     """Fold every shard under ``out_dir`` into the single-host aggregates.
 
@@ -595,38 +581,8 @@ def merge_shards(out_dir: Union[str, Path], plan: SweepPlan) -> MergedSweep:
     """
     out = Path(out_dir)
     manifests = read_manifests(out)
-    fingerprint = plan.fingerprint()
     first = manifests[0]
-    # Provenance fields first: a delay-model or scenario mismatch would also
-    # trip the fingerprint check below, but with an anonymous digest -- the
-    # named-field error says *what* differs.
-    for field_name, plan_value in (
-        ("delay_models", plan.delay_models()),
-        ("scenarios", plan.scenario_names()),
-    ):
-        recorded = first.get(field_name)
-        if recorded is not None and list(recorded) != plan_value:
-            raise ManifestError(
-                f"shards in {out} disagree with the merge plan on {field_name!r}: "
-                f"the shards were produced under {recorded} but the plan has "
-                f"{plan_value}; shards produced under different delay models or "
-                f"fault scenarios cannot be merged"
-            )
-    if first["fingerprint"] != fingerprint:
-        hint = ""
-        recorded_backend = first.get("priority_backend")
-        if recorded_backend and recorded_backend != priority_backend():
-            hint = (
-                f" (the shards were produced with the {recorded_backend!r} run-priority "
-                f"backend but this host uses {priority_backend()!r}; numpy availability "
-                f"must match between the shard hosts and the merge host)"
-            )
-        raise ManifestError(
-            f"shards in {out} were produced by a different plan (fingerprint "
-            f"{first['fingerprint'][:12]}... != {fingerprint[:12]}...); "
-            f"rebuild the merge plan with the same experiment, seeds and parameters"
-            + hint
-        )
+    check_merge_provenance(first, plan, out)
     count = first["shard_count"]
     present = sorted(manifest["shard_index"] for manifest in manifests)
     expected = list(range(1, count + 1))

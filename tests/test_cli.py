@@ -171,6 +171,103 @@ def test_mismatched_shard_seeds_are_rejected_at_merge(tmp_path, capsys):
     assert "different plan" in err
 
 
+STEAL_ARGS = ["--seeds", "2", "--max-workers", "1", "--steal"]
+
+
+def test_steal_merge_report_equals_unsharded_run(tmp_path, capsys):
+    out_dir = str(tmp_path / "runs")
+    for worker in ("a", "b"):
+        code, _, _ = run_cli(
+            capsys, "run", "e1", *STEAL_ARGS, "--worker", worker,
+            "--max-points", "2", "--out", out_dir,
+        )
+        assert code == 0
+    code, merged_out, _ = run_cli(capsys, "merge", out_dir, "--report")
+    assert code == 0
+    code, direct_out, _ = run_cli(capsys, "run", "e1", *E1_ARGS)
+    assert code == 0
+    assert merged_out == direct_out
+
+
+def test_steal_status_shows_lease_counts(tmp_path, capsys):
+    out_dir = str(tmp_path / "runs")
+    code, _, _ = run_cli(
+        capsys, "run", "e1", *STEAL_ARGS, "--worker", "w1",
+        "--max-points", "1", "--out", out_dir,
+    )
+    assert code == 0
+    code, out, _ = run_cli(capsys, "status", out_dir)
+    assert code == 0
+    assert "1/4 points done" in out
+    for word in ("stolen", "leased", "orphaned", "unclaimed"):
+        assert word in out
+    assert "w1" in out  # the per-worker table
+
+
+def test_steal_worker_reports_already_done_points(tmp_path, capsys):
+    out_dir = str(tmp_path / "runs")
+    run_cli(capsys, "run", "e1", *STEAL_ARGS, "--worker", "w1", "--out", out_dir)
+    code, out, _ = run_cli(
+        capsys, "run", "e1", *STEAL_ARGS, "--worker", "w2", "--out", out_dir
+    )
+    assert code == 0
+    assert "0 points computed" in out and "4 already done" in out
+
+
+def test_steal_merge_of_incomplete_run_is_an_error(tmp_path, capsys):
+    out_dir = str(tmp_path / "runs")
+    run_cli(
+        capsys, "run", "e1", *STEAL_ARGS, "--worker", "w1",
+        "--max-points", "1", "--out", out_dir,
+    )
+    code, _, err = run_cli(capsys, "merge", out_dir)
+    assert code == 2
+    assert "incomplete" in err and "unclaimed" in err
+
+
+def test_steal_e9_scenario_merge_equals_direct_run(tmp_path, capsys):
+    out_dir = str(tmp_path / "runs")
+    code, _, _ = run_cli(
+        capsys, "run", "e9", *E9_ARGS, "--steal", "--worker", "w1", "--out", out_dir
+    )
+    assert code == 0
+    code, merged_out, _ = run_cli(capsys, "merge", out_dir, "--report")
+    assert code == 0
+    code, direct_out, _ = run_cli(capsys, "run", "e9", *E9_ARGS)
+    assert code == 0
+    assert merged_out == direct_out
+
+
+def test_steal_with_shard_is_an_error(capsys, tmp_path):
+    code, _, err = run_cli(
+        capsys, "run", "e1", "--steal", "--shard", "1/2", "--out", str(tmp_path)
+    )
+    assert code == 2
+    assert "mutually exclusive" in err
+
+
+def test_steal_without_out_is_an_error(capsys):
+    code, _, err = run_cli(capsys, "run", "e1", "--steal")
+    assert code == 2
+    assert "--out" in err
+
+
+def test_steal_flags_without_steal_are_an_error(capsys, tmp_path):
+    code, _, err = run_cli(
+        capsys, "run", "e1", "--worker", "w1", "--out", str(tmp_path)
+    )
+    assert code == 2
+    assert "only apply with --steal" in err
+
+
+def test_steal_directory_refuses_static_shards(tmp_path, capsys):
+    out_dir = str(tmp_path / "runs")
+    run_cli(capsys, "run", "e1", *E1_ARGS, "--shard", "1/2", "--out", out_dir)
+    code, _, err = run_cli(capsys, "run", "e1", *STEAL_ARGS, "--out", out_dir)
+    assert code == 2
+    assert "static" in err
+
+
 def test_python_dash_m_entry_point():
     """`python -m repro` resolves through __main__.py in a real subprocess."""
     repo_root = Path(__file__).resolve().parent.parent

@@ -1,7 +1,12 @@
-"""Documentation health: the front-door files exist and their links resolve."""
+"""Documentation health: front-door files exist, links resolve, commands parse."""
 
 import importlib.util
+import shlex
 from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -15,6 +20,8 @@ _spec.loader.exec_module(check_markdown_links)
 def test_front_door_documents_exist():
     for relative in (
         "README.md",
+        "docs/architecture.md",
+        "docs/distributed.md",
         "docs/experiments.md",
         "docs/simulator.md",
         "examples/README.md",
@@ -25,7 +32,14 @@ def test_front_door_documents_exist():
 
 def test_front_door_documents_are_on_the_checked_surface():
     surface = {path.relative_to(REPO_ROOT).as_posix() for path in check_markdown_links.doc_files(REPO_ROOT)}
-    assert {"README.md", "ROADMAP.md", "docs/experiments.md", "examples/README.md"} <= surface
+    assert {
+        "README.md",
+        "ROADMAP.md",
+        "docs/architecture.md",
+        "docs/distributed.md",
+        "docs/experiments.md",
+        "examples/README.md",
+    } <= surface
 
 
 def test_all_relative_markdown_links_resolve():
@@ -47,3 +61,64 @@ def test_simulator_doc_covers_the_internals():
     text = (REPO_ROOT / "docs" / "simulator.md").read_text()
     for topic in ("event loop", "effect", "delay model", "adversary"):
         assert topic in text.lower(), f"docs/simulator.md lacks the {topic!r} topic"
+
+
+def test_distributed_doc_covers_the_protocol():
+    text = (REPO_ROOT / "docs" / "distributed.md").read_text().lower()
+    for topic in (
+        "lease",
+        "steal",
+        "heartbeat",
+        "manifest version",
+        "checkpoint",
+        "clock skew",
+        "killed",
+        "bit-identical",
+        "--steal",
+    ):
+        assert topic in text, f"docs/distributed.md lacks the {topic!r} topic"
+
+
+def test_architecture_doc_maps_every_package():
+    text = (REPO_ROOT / "docs" / "architecture.md").read_text()
+    packages = (
+        "sim", "network", "sharedmem", "coins", "cluster", "core",
+        "baselines", "mm", "adversary", "harness", "experiments", "cli",
+    )
+    for package in packages:
+        assert f"repro.{package}" in text, f"docs/architecture.md lacks repro.{package}"
+    for deep_dive in ("simulator.md", "distributed.md", "experiments.md"):
+        assert deep_dive in text, f"docs/architecture.md does not link {deep_dive}"
+
+
+#: Documentation whose ``python -m repro ...`` lines must parse against the
+#: real argparse surface -- the docs cannot drift from the CLI silently.
+INVOCATION_DOCS = ("README.md", "docs/experiments.md", "docs/distributed.md")
+
+
+def documented_invocations():
+    """Every concrete ``python -m repro`` command line on the doc surface."""
+    commands = []
+    for relative in INVOCATION_DOCS:
+        for line in (REPO_ROOT / relative).read_text().splitlines():
+            stripped = line.strip()
+            if not stripped.startswith("python -m repro"):
+                continue
+            if "<" in stripped or "…" in stripped:
+                continue  # placeholder forms like `run <experiment>`
+            argv = shlex.split(stripped, comments=True)[3:]  # drop `python -m repro`
+            commands.append((relative, stripped, argv))
+    return commands
+
+
+def test_documented_invocations_match_the_argparse_surface():
+    commands = documented_invocations()
+    assert len(commands) >= 12, "the docs should show plenty of concrete invocations"
+    assert any("--steal" in argv for _, _, argv in commands)
+    assert any("--shard" in argv for _, _, argv in commands)
+    for relative, line, argv in commands:
+        parser = build_parser()
+        try:
+            parser.parse_args(argv)
+        except SystemExit:
+            pytest.fail(f"{relative} documents a command the CLI rejects: {line}")
