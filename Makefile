@@ -1,16 +1,20 @@
 # Local gates, matching what CI runs (.github/workflows/ci.yml).
 #
-#   make test           - the tier-1 suite (see ROADMAP.md)
-#   make bench-smoke    - benchmark files with timing disabled (fast sanity)
-#   make bench          - full benchmark run with timings
-#   make lint           - ruff check (skips with a notice when ruff is absent)
-#   make examples-smoke - run the quickstart, adversary-tour, sharded-sweep
-#                         + work-stealing examples
-#   make linkcheck      - verify relative links in README.md / docs / READMEs
+#   make test             - the tier-1 suite (see ROADMAP.md)
+#   make bench-smoke      - benchmark files with timing disabled (fast sanity)
+#   make bench            - full benchmark run with timings (strict: no
+#                           timing-gate reruns), then the BENCH_6.json
+#                           trajectory measurement
+#   make bench-trajectory - re-measure BENCH_6.json and diff events/sec
+#                           against the previous BENCH_*.json (warn-only)
+#   make lint             - ruff check (skips with a notice when ruff is absent)
+#   make examples-smoke   - run the quickstart, adversary-tour, sharded-sweep
+#                           + work-stealing examples
+#   make linkcheck        - verify relative links in README.md / docs / READMEs
 
 PYTHON ?= python
 
-.PHONY: test bench-smoke bench lint examples-smoke linkcheck
+.PHONY: test bench-smoke bench bench-trajectory lint examples-smoke linkcheck
 
 test:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -x -q
@@ -19,7 +23,11 @@ bench-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest benchmarks -q --benchmark-disable
 
 bench:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest benchmarks -q --benchmark-only
+	REPRO_BENCH_STRICT=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest benchmarks -q --benchmark-only
+	$(PYTHON) scripts/bench_trajectory.py
+
+bench-trajectory:
+	$(PYTHON) scripts/bench_trajectory.py --compare
 
 lint:
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \

@@ -6,25 +6,26 @@ hottest paths: the run loop (one ``is None`` check per event), message sends
 The contract is that a kernel with *no* adversary installed regresses less
 than 2% against the pre-hook kernel.  Since the pre-hook code no longer
 exists, the gate reconstructs it: pre-hook versions of ``run``, ``_do_send``,
-``_handle_delivery`` and ``_handle_resume`` (verbatim copies minus the
-adversary/paused branches) are monkeypatched onto the kernel class and timed
-against the real ones on the same workload.
+``_handle_delivery`` and ``_handle_resume`` (verbatim copies of the current
+flat-tuple hot path minus the adversary/paused branches) are monkeypatched
+onto the kernel class and timed against the real ones on the same workload.
 
 Like every timing gate in this repo, the hard assert is live only in
 dedicated benchmark runs (``make bench``, i.e. ``--benchmark-only``) with
 at least 4 usable CPUs; plain CI executions only smoke the code paths.
 """
 
-import heapq
 import statistics
 import time
+from heapq import heappop, heappush
 
 import pytest
 
 from repro.adversary import build_scenario, scenario_names
 from repro.cluster.topology import ClusterTopology
 from repro.harness.runner import ExperimentConfig, run_consensus
-from repro.sim.events import MessageDelivery
+from repro.sim.context import RoundLimitExceeded, SendEffect, WaitEffect
+from repro.sim.events import EventKind, describe_entry
 from repro.sim.kernel import RunStatus, SimConfig, SimulationKernel
 from repro.sim.process import ProcessState
 
@@ -35,70 +36,206 @@ ROUNDS = 9
 RUNS_PER_ROUND = 4
 OVERHEAD_LIMIT = 1.02
 
+_RESUME = int(EventKind.STEP_RESUME)
+_DELIVERY = int(EventKind.MESSAGE_DELIVERY)
+
 
 # --------------------------------------------------------------- pre-hook kernel
 def _prehook_run(self):
-    """The event loop exactly as it was before the adversary hook."""
+    """The mega-inlined event loop exactly as it would be without the hooks.
+
+    A verbatim copy of ``SimulationKernel.run`` minus the adversary
+    consultation block and the ``paused`` branches (which exist only for the
+    adversary's pause/recover faults).  Must be kept in sync with the real
+    loop: ``test_prehook_reconstruction_is_behaviourally_identical`` below
+    and the overhead gate are only meaningful while the two differ by
+    exactly those branches.
+    """
     if not self._processes:
         raise RuntimeError("no processes registered")
     queue = self._queue
     trace = self.trace
-    max_time = self.config.max_time
-    while queue:
-        entry = heapq.heappop(queue)
-        if entry.time > max_time:
-            self.now = max_time
-            return self._result(RunStatus.TIMEOUT)
-        if entry.time > self.now:
-            self.now = entry.time
-        self.events_processed += 1
-        if trace.enabled:
-            from repro.sim.events import describe
-
-            trace.record(self.now, "event", self._event_pid(entry.event), describe(entry.event))
-        self._dispatch(entry.event)
-        if self._all_settled():
-            break
+    trace_enabled = trace.enabled
+    handlers = self._handlers
+    processes = self._processes
+    if set(processes) == set(range(len(processes))):
+        processes = [processes[index] for index in range(len(processes))]
+    network = self._network
+    net_stats = network.stats if network is not None else None
+    sched_random = self._sched_random
+    effect_handlers = self._effect_handlers
+    config = self.config
+    max_time = config.max_time
+    local_step_delay = config.local_step_delay
+    jitter = config.scheduling_jitter
+    ready = ProcessState.READY
+    blocked = ProcessState.BLOCKED
+    crashed = ProcessState.CRASHED
+    processed = 0
+    try:
+        while queue:
+            time, sequence, kind, pid, payload = heappop(queue)
+            if time > max_time:
+                self.now = max_time
+                self.events_processed += processed
+                processed = 0
+                return self._result(RunStatus.TIMEOUT)
+            if time > self.now:
+                self.now = time
+            processed += 1
+            if trace_enabled:
+                trace.record(self.now, "event", pid, describe_entry(kind, pid, payload))
+            if kind == _DELIVERY:
+                proc = processes[pid]
+                state = proc.state
+                if state is crashed:
+                    self.dropped_deliveries += 1
+                    continue
+                proc.mailbox.append(payload)
+                if net_stats is not None:
+                    net_stats.messages_delivered += 1
+                    net_stats.delivered_to_process[pid] += 1
+                if state is blocked:
+                    result = proc.wait_predicate(proc.mailbox)
+                    if result is not None:
+                        proc.wait_predicate = None
+                        proc.state = ready
+                        if jitter > 0:
+                            time = self.now + local_step_delay + sched_random() * jitter
+                        else:
+                            time = self.now + local_step_delay
+                        self._sequence += 1
+                        heappush(queue, (time, self._sequence, _RESUME, pid, result))
+                continue
+            if kind == _RESUME:
+                proc = processes[pid]
+                state = proc.state
+                if state is not ready and state is not blocked:
+                    continue
+                proc.stats.steps += 1
+                try:
+                    effect = proc.generator.send(payload)
+                except StopIteration as stop:
+                    proc.decision = stop.value
+                    proc.decision_time = self.now
+                    self._settle(
+                        proc,
+                        ProcessState.DECIDED if stop.value is not None else ProcessState.HALTED,
+                    )
+                    if stop.value is None:
+                        proc.halt_reason = "returned None"
+                    if trace_enabled:
+                        trace.record(self.now, "decide", pid, repr(stop.value))
+                    if self._live == 0:
+                        break
+                    continue
+                except RoundLimitExceeded as exceeded:
+                    self._settle(proc, ProcessState.HALTED)
+                    proc.halt_reason = str(exceeded)
+                    if trace_enabled:
+                        trace.record(self.now, "halt", pid, proc.halt_reason)
+                    if self._live == 0:
+                        break
+                    continue
+                cls = type(effect)
+                if cls is SendEffect:
+                    if network is None:
+                        raise RuntimeError("no network attached; cannot handle SendEffect")
+                    dest = effect.dest
+                    now = self.now
+                    message, delay = network.transmit(pid, dest, effect.payload, now)
+                    if trace_enabled:
+                        trace.record(now, "send", pid, f"to={dest} {effect.payload!r}")
+                    sequence = self._sequence + 2
+                    self._sequence = sequence
+                    heappush(queue, (now + delay, sequence - 1, _DELIVERY, dest, message))
+                    if jitter > 0:
+                        time = now + local_step_delay + sched_random() * jitter
+                    else:
+                        time = now + local_step_delay
+                    heappush(queue, (time, sequence, _RESUME, pid, None))
+                elif cls is WaitEffect:
+                    result = effect.predicate(proc.mailbox)
+                    if result is not None:
+                        if jitter > 0:
+                            time = self.now + local_step_delay + sched_random() * jitter
+                        else:
+                            time = self.now + local_step_delay
+                        self._sequence += 1
+                        heappush(queue, (time, self._sequence, _RESUME, pid, result))
+                    else:
+                        proc.state = blocked
+                        proc.wait_predicate = effect.predicate
+                        if trace_enabled:
+                            trace.record(self.now, "block", pid, "waiting on messages")
+                else:
+                    handler = effect_handlers.get(cls) or self._resolve_effect_handler(effect)
+                    if handler is None:
+                        raise TypeError(
+                            f"process {pid} yielded {effect!r}, which is not a recognised effect"
+                        )
+                    handler(proc, effect)
+                    if self._live == 0:
+                        break
+                continue
+            handlers[kind](pid, payload)
+            if self._live == 0:
+                break
+    finally:
+        self.events_processed += processed
     return self._result(self._final_status())
 
 
 def _prehook_do_send(self, proc, effect):
-    """Message send without the adversary branch."""
-    if self._network is None:
+    """The table-path message send without the adversary branch."""
+    network = self._network
+    if network is None:
         raise RuntimeError("no network attached; cannot handle SendEffect")
-    message = self._network.prepare(
-        sender=proc.pid, dest=effect.dest, payload=effect.payload, time=self.now
-    )
-    delay = self._network.sample_delay(sender=proc.pid, dest=effect.dest)
+    pid = proc.pid
+    dest = effect.dest
+    now = self.now
+    message, delay = network.transmit(pid, dest, effect.payload, now)
     if self.trace.enabled:
-        self.trace.record(self.now, "send", proc.pid, f"to={effect.dest} {effect.payload!r}")
-    self._schedule(self.now + delay, MessageDelivery(pid=effect.dest, message=message))
-    self._resume_later(proc.pid, None, self.config.local_step_delay)
+        self.trace.record(now, "send", pid, f"to={dest} {effect.payload!r}")
+    self._sequence += 1
+    heappush(self._queue, (now + delay, self._sequence, _DELIVERY, dest, message))
+    config = self.config
+    jitter = config.scheduling_jitter
+    if jitter > 0:
+        time = self.now + config.local_step_delay + self._sched_random() * jitter
+    else:
+        time = self.now + config.local_step_delay
+    self._sequence += 1
+    heappush(self._queue, (time, self._sequence, _RESUME, pid, None))
 
 
-def _prehook_handle_resume(self, event):
-    """Step resume without the paused check."""
-    proc = self._processes[event.pid]
-    if proc.state.is_terminal():
+def _prehook_handle_resume(self, pid, payload):
+    """The table-path step resume without the paused check."""
+    proc = self._processes[pid]
+    state = proc.state
+    if state is not ProcessState.READY and state is not ProcessState.BLOCKED:
         return
-    self._advance(proc, event.value)
+    self._advance(proc, payload)
 
 
-def _prehook_handle_delivery(self, event):
-    """Message delivery without the paused check."""
-    proc = self._processes[event.pid]
+def _prehook_handle_delivery(self, pid, payload):
+    """The table-path message delivery without the paused check."""
+    proc = self._processes[pid]
     if proc.state is ProcessState.CRASHED:
         self.dropped_deliveries += 1
         return
-    proc.deliver(event.message)
-    if self._network is not None:
-        self._network.record_delivery(event.message)
+    proc.mailbox.append(payload)
+    network = self._network
+    if network is not None:
+        stats = network.stats
+        stats.messages_delivered += 1
+        stats.delivered_to_process[pid] += 1
     if proc.state is ProcessState.BLOCKED:
-        result = proc.check_wait()
+        result = proc.wait_predicate(proc.mailbox)
         if result is not None:
             proc.wait_predicate = None
             proc.state = ProcessState.READY
-            self._resume_later(proc.pid, result, self.config.local_step_delay)
+            self._resume_later(pid, result, self.config.local_step_delay)
 
 
 _PREHOOK_PATCHES = {
@@ -130,6 +267,7 @@ def _time_workload():
 
 
 # -------------------------------------------------------------------- the gate
+@pytest.mark.timing
 def test_no_adversary_hot_path_overhead_under_2_percent(strict_timing):
     """Hooked kernel vs reconstructed pre-hook kernel on the same workload.
 

@@ -2,18 +2,133 @@
 
 These complement the experiment-level benchmarks with tighter timing of the
 individual building blocks: one full consensus run per algorithm on a fixed
-topology, one intra-cluster consensus-object invocation, and one simulated
-all-to-all message exchange.
+topology, one intra-cluster consensus-object invocation, one simulated
+all-to-all message exchange, and the kernel hot-path gate: a live
+legacy-vs-refactored event-throughput comparison at n=64 (see
+``benchmarks/legacy_kernel.py`` and ``docs/performance.md``).
 """
+
+import gc
+import time
 
 import pytest
 
+from benchmarks.legacy_kernel import LegacyKernel, LegacyNetwork
 from repro.cluster.topology import ClusterTopology
+from repro.core.base import PhaseMessage
 from repro.harness.runner import ExperimentConfig, run_consensus
+from repro.network.transport import Network
 from repro.sharedmem.consensus_object import CASConsensusObject
 from repro.sharedmem.threaded import run_threaded_consensus
+from repro.sim.kernel import RunStatus, SimConfig, SimulationKernel
+from repro.sim.rng import RandomSource
 
 TOPOLOGY = ClusterTopology.figure1_right()
+
+# ----------------------------------------------------------- kernel hot path
+#: Process count of the kernel-throughput flood (the ISSUE 6 gate is "≥5x
+#: single-kernel event throughput at n=64").
+FLOOD_N = 64
+#: Broadcast-and-wait rounds per flood; at n=64 this yields 33 088 events.
+FLOOD_ROUNDS = 4
+#: Interleaved measurement rounds for the speedup gate (best-of on each side).
+GATE_ROUNDS = 12
+#: The acceptance bar: refactored kernel ≥5x the pre-refactor event rate.
+GATE_SPEEDUP = 5.0
+
+
+def _flood(ctx):
+    """All-to-all broadcast rounds: the kernel's resume/send/delivery mix.
+
+    Each round broadcasts one :class:`PhaseMessage` (a realistic payload:
+    the legacy network pays the recursive ``payload_size`` walk per send)
+    and waits for the round's cumulative message count, keeping every
+    process live for the whole run.
+    """
+    for round_number in range(FLOOD_ROUNDS):
+        message = PhaseMessage(tag="bench", round_number=round_number, phase=1, est=round_number % 2)
+        yield from ctx.broadcast(message)
+        need = (round_number + 1) * FLOOD_N
+        yield from ctx.wait_until(lambda mailbox, need=need: True if len(mailbox) >= need else None)
+    return 1
+
+
+def _run_flood(kernel_cls, network_cls):
+    """One measured flood run: returns ``(events_processed, wall_seconds)``.
+
+    Only ``kernel.run()`` is timed (setup allocates thousands of objects and
+    is not the comparison target), with collection forced beforehand and the
+    collector disabled inside the timed region so allocator churn from one
+    kernel's setup cannot be billed to the other's run.
+    """
+    rng = RandomSource(42)
+    kernel = kernel_cls(config=SimConfig(), rng=rng)
+    kernel.attach_network(network_cls(FLOOD_N, rng=rng))
+    for pid in range(FLOOD_N):
+        kernel.add_process(pid, _flood)
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        result = kernel.run()
+        wall = time.perf_counter() - start
+    finally:
+        gc.enable()
+    assert result.status is RunStatus.DECIDED
+    return result.events_processed, wall
+
+
+def test_bench_kernel_flood_matches_legacy():
+    """Both kernels run the flood to the same decision over the same events."""
+    legacy_events, _ = _run_flood(LegacyKernel, LegacyNetwork)
+    new_events, _ = _run_flood(SimulationKernel, Network)
+    assert legacy_events == new_events > 30_000
+
+
+@pytest.mark.timing
+def test_bench_kernel_speedup_vs_legacy(strict_timing):
+    """The tentpole gate: ≥5x event throughput over the pre-refactor kernel.
+
+    Measured live: interleaved best-of-``GATE_ROUNDS`` runs of the faithful
+    pre-refactor reconstruction against the current kernel on the identical
+    flood.  Interleaving plus best-of makes the comparison robust to
+    transient machine noise; the ``timing`` marker gives wall-clock flake
+    one retry on top (see ``repro.harness.pytest_timing``).
+    """
+    best = {"legacy": float("inf"), "new": float("inf")}
+    events = {}
+    for _ in range(GATE_ROUNDS):
+        for label, kernel_cls, network_cls in (
+            ("legacy", LegacyKernel, LegacyNetwork),
+            ("new", SimulationKernel, Network),
+        ):
+            n_events, wall = _run_flood(kernel_cls, network_cls)
+            events[label] = n_events
+            best[label] = min(best[label], wall)
+        if not strict_timing:
+            break
+    assert events["legacy"] == events["new"]
+    ratio = best["legacy"] / best["new"]
+    rate = events["new"] / best["new"]
+    if not strict_timing:
+        pytest.skip(
+            f"timing gate disabled (needs --benchmark-only and >=4 CPUs); "
+            f"single-round ratio={ratio:.2f}x, {rate:,.0f} events/sec"
+        )
+    assert ratio >= GATE_SPEEDUP, (
+        f"kernel speedup {ratio:.2f}x below the {GATE_SPEEDUP:.1f}x gate "
+        f"(legacy {best['legacy']:.4f}s, new {best['new']:.4f}s, {rate:,.0f} events/sec)"
+    )
+
+
+def test_bench_kernel_flood_throughput(benchmark):
+    """Event throughput of the refactored kernel alone (trajectory number).
+
+    ``scripts/bench_trajectory.py`` reads this benchmark's stats and derives
+    the events/sec figure recorded in ``BENCH_<n>.json``.
+    """
+    events = benchmark(lambda: _run_flood(SimulationKernel, Network)[0])
+    assert events > 30_000
 
 
 @pytest.mark.parametrize(

@@ -15,3 +15,7 @@ try:  # pragma: no cover - trivial import probe
     import repro  # noqa: F401
 except ImportError:  # pragma: no cover
     sys.path.insert(0, str(_SRC))
+
+# Rerun-once-on-failure for @pytest.mark.timing wall-clock gates
+# (REPRO_BENCH_STRICT=1 disables the retry; see the module docstring).
+pytest_plugins = ["repro.harness.pytest_timing"]

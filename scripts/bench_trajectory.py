@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Measure the kernel perf trajectory and write ``BENCH_<n>.json``.
+
+Runs the micro kernel-flood benchmark (current and pre-refactor kernels,
+see ``benchmarks/legacy_kernel.py``), the single-run micro benchmarks, and
+the E8 scalability sweep workload, and records one JSON object per
+benchmark::
+
+    {"<name>": {"events/sec": ..., "wall": ..., "python": ..., "platform": ...}}
+
+``events/sec`` is simulator events processed per wall-clock second (the
+kernel's throughput unit; see ``docs/performance.md``) and ``wall`` the
+best-of wall-clock seconds of the benchmark.  With ``--compare`` the script
+also diffs events/sec against the previous ``BENCH_*.json`` in the repo
+root and warns (without failing) on regressions -- the trajectory gate is
+advisory for now.
+"""
+
+import argparse
+import gc
+import glob
+import json
+import pathlib
+import platform
+import re
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_6.json"
+
+#: Warn when a benchmark loses more than this fraction of its event rate.
+REGRESSION_TOLERANCE = 0.10
+
+
+def _timed(fn):
+    """Run ``fn`` once with GC hygiene; return ``(value, wall_seconds)``."""
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        value = fn()
+        wall = time.perf_counter() - start
+    finally:
+        gc.enable()
+    return value, wall
+
+
+def _best_of(fn, rounds):
+    """Best wall clock over ``rounds`` runs; returns ``(value, best_wall)``."""
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        value, wall = _timed(fn)
+        best = min(best, wall)
+    return value, best
+
+
+def _entry(events, wall):
+    """One schema row: events/sec, wall and the measuring interpreter."""
+    return {
+        "events/sec": round(events / wall, 1) if events else None,
+        "wall": round(wall, 4),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def measure(rounds):
+    """Run every trajectory benchmark; returns ``{name: entry}``."""
+    from benchmarks.legacy_kernel import LegacyKernel, LegacyNetwork
+    from benchmarks.test_bench_micro import _run_flood
+    from repro.experiments import e8_scalability
+    from repro.experiments.common import default_seeds
+    from repro.harness.runner import run_consensus
+    from repro.network.transport import Network
+    from repro.sim.kernel import SimulationKernel
+
+    results = {}
+
+    # The two flood variants are measured interleaved (legacy, new, legacy,
+    # new, ...) with best-of on each side -- the same protocol as the
+    # speedup gate in benchmarks/test_bench_micro.py -- so a load spike on
+    # the host skews both sides alike instead of one.
+    best = {"legacy": float("inf"), "new": float("inf")}
+    events = {}
+    for _ in range(rounds):
+        for label, kernel_cls, network_cls in (
+            ("legacy", LegacyKernel, LegacyNetwork),
+            ("new", SimulationKernel, Network),
+        ):
+            # _run_flood times kernel.run() itself (setup excluded, GC
+            # quiesced), so its wall is used directly.
+            n_events, wall = _run_flood(kernel_cls, network_cls)
+            events[label] = n_events
+            best[label] = min(best[label], wall)
+    results["kernel_flood_n64"] = _entry(events["new"], best["new"])
+    results["kernel_flood_n64_legacy"] = _entry(events["legacy"], best["legacy"])
+    speedup = best["legacy"] / best["new"]
+    print(f"kernel_flood_n64: {events['new'] / best['new']:,.0f} events/sec ({best['new']:.4f}s)")
+    print(
+        f"kernel_flood_n64_legacy: {events['legacy'] / best['legacy']:,.0f} events/sec "
+        f"({best['legacy']:.4f}s, speedup {speedup:.2f}x)"
+    )
+
+    from repro.cluster.topology import ClusterTopology
+    from repro.harness.runner import ExperimentConfig
+
+    topology = ClusterTopology.figure1_right()
+    for algorithm in ("hybrid-local-coin", "hybrid-common-coin", "ben-or", "mp-common-coin", "mm-local-coin"):
+        config = ExperimentConfig(topology=topology, algorithm=algorithm, proposals="split", seed=5)
+        result, wall = _best_of(lambda config=config: run_consensus(config), max(2, rounds // 2))
+        n_events = result.sim_result.events_processed
+        results[f"micro_single_run_{algorithm}"] = _entry(n_events, wall)
+        print(f"micro_single_run_{algorithm}: {n_events / wall:,.0f} events/sec ({wall:.4f}s)")
+
+    # The E8 sweep workload, run serially so events can be totalled.
+    plan = e8_scalability.plan(seeds=default_seeds(4), sizes=(4, 8, 12))
+
+    def e8_serial():
+        total = 0
+        for point in plan.points:
+            for seed in plan.seeds:
+                total += run_consensus(point.config.with_seed(seed)).sim_result.events_processed
+        return total
+
+    total_events, wall = _timed(e8_serial)
+    results["e8_scalability_serial"] = _entry(total_events, wall)
+    print(f"e8_scalability_serial: {total_events / wall:,.0f} events/sec ({wall:.4f}s)")
+
+    return results
+
+
+def previous_bench(out_path):
+    """The highest-numbered ``BENCH_*.json`` in the repo root besides ``out``."""
+    candidates = []
+    for path in glob.glob(str(REPO_ROOT / "BENCH_*.json")):
+        path = pathlib.Path(path)
+        if path.resolve() == out_path.resolve():
+            continue
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match:
+            candidates.append((int(match.group(1)), path))
+    return max(candidates)[1] if candidates else None
+
+
+def compare(current, previous_path):
+    """Warn (don't fail) on events/sec regressions vs a previous trajectory."""
+    previous = json.loads(previous_path.read_text())
+    print(f"\ntrajectory vs {previous_path.name}:")
+    for name, entry in sorted(current.items()):
+        then = previous.get(name, {}).get("events/sec")
+        now = entry.get("events/sec")
+        if not then or not now:
+            print(f"  {name}: no prior events/sec to compare")
+            continue
+        change = (now - then) / then
+        marker = ""
+        if change < -REGRESSION_TOLERANCE:
+            marker = "  <-- WARNING: regression"
+        print(f"  {name}: {then:,.0f} -> {now:,.0f} events/sec ({change:+.1%}){marker}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT, help="trajectory file to write")
+    parser.add_argument("--rounds", type=int, default=5, help="best-of rounds for the flood benchmark")
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="diff events/sec against the previous BENCH_*.json (warn-only)",
+    )
+    args = parser.parse_args(argv)
+
+    results = measure(args.rounds)
+    args.out.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if args.compare:
+        previous = previous_bench(args.out)
+        if previous is None:
+            print("no previous BENCH_*.json found; nothing to compare")
+        else:
+            compare(results, previous)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,7 @@ class AlwaysZeroCoin(LocalCoin):
         super().__init__(random.Random(0))
 
     def flip(self) -> int:
+        """Return 0, unconditionally (accounting still recorded)."""
         self.flips += 1
         self.history.append(0)
         return 0
@@ -34,6 +35,7 @@ class AlwaysOneCoin(LocalCoin):
         super().__init__(random.Random(0))
 
     def flip(self) -> int:
+        """Return 1, unconditionally (accounting still recorded)."""
         self.flips += 1
         self.history.append(1)
         return 1
@@ -50,6 +52,7 @@ class OpposingCoins:
     """
 
     def coin_for(self, pid: int) -> LocalCoin:
+        """The stuck coin assigned to ``pid``: 0 when even, 1 when odd."""
         return AlwaysZeroCoin() if pid % 2 == 0 else AlwaysOneCoin()
 
 
@@ -69,6 +72,7 @@ class AdversarialCommonCoin(CommonCoin):
                 raise ValueError(f"invalid forced bit {bit!r} for round {round_number}")
 
     def _ensure(self, round_number: int) -> None:
+        """Extend the bit sequence, honouring forced bits round by round."""
         while len(self._bits) < round_number:
             next_round = len(self._bits) + 1
             if next_round in self.forced_bits:

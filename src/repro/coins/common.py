@@ -26,6 +26,7 @@ class CommonCoin:
         self.invocations_by_process: Dict[int, int] = defaultdict(int)
 
     def _ensure(self, round_number: int) -> None:
+        """Draw bits lazily until round ``round_number`` has one."""
         while len(self._bits) < round_number:
             self._bits.append(self._rng.randrange(2))
 
@@ -67,6 +68,7 @@ class FixedSequenceCommonCoin(CommonCoin):
         self._sequence = list(sequence)
 
     def _ensure(self, round_number: int) -> None:
+        """Extend the bit sequence by replaying the fixed pattern."""
         while len(self._bits) < round_number:
             self._bits.append(self._sequence[len(self._bits) % len(self._sequence)])
 

@@ -47,6 +47,7 @@ class BiasedLocalCoin(LocalCoin):
         self.bias = bias
 
     def flip(self) -> int:
+        """Return 1 with probability ``bias``, else 0."""
         self.flips += 1
         bit = 1 if self._rng.random() < self.bias else 0
         self.history.append(bit)
@@ -73,6 +74,7 @@ class DeterministicCoin(LocalCoin):
         self._index = 0
 
     def flip(self) -> int:
+        """Return the next bit of the fixed sequence, cycling at the end."""
         self.flips += 1
         bit = self.sequence[self._index % len(self.sequence)]
         self._index += 1

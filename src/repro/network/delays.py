@@ -12,6 +12,9 @@ import math
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import List
+
+from ..sim.rng import random_block
 
 
 class DelayModel(ABC):
@@ -21,7 +24,22 @@ class DelayModel(ABC):
     def sample(self, rng: random.Random) -> float:
         """Draw one delay; must be strictly positive and finite."""
 
+    def sample_batch(self, rng: random.Random, k: int) -> List[float]:
+        """Draw ``k`` delays at once, amortizing the per-call overhead.
+
+        The contract is *exact-sequence*: the returned list is bit-identical
+        to calling :meth:`sample` ``k`` times, and ``rng`` is left in the
+        same state, so a caller may freely interleave batched and per-call
+        draws (the transport's delay cache relies on this).  The base
+        implementation is the per-call loop; models whose draw recipe is a
+        fixed arithmetic transform of ``rng.random()`` override it with a
+        vectorizable block (see :func:`repro.sim.rng.random_block`).
+        """
+        sample = self.sample
+        return [sample(rng) for _ in range(k)]
+
     def describe(self) -> str:
+        """A short human-readable label for reports and plots."""
         return repr(self)
 
 
@@ -36,7 +54,14 @@ class ConstantDelay(DelayModel):
             raise ValueError("delay must be positive")
 
     def sample(self, rng: random.Random) -> float:
+        """Return the constant; ``rng`` is untouched."""
         return self.value
+
+    def sample_batch(self, rng: random.Random, k: int) -> List[float]:
+        """``k`` copies of the constant; no RNG draws, like :meth:`sample`."""
+        if type(self) is not ConstantDelay:
+            return super().sample_batch(rng, k)
+        return [self.value] * k
 
 
 @dataclass(frozen=True)
@@ -51,7 +76,20 @@ class UniformDelay(DelayModel):
             raise ValueError("need 0 < low <= high")
 
     def sample(self, rng: random.Random) -> float:
+        """One uniform draw from ``[low, high]``."""
         return rng.uniform(self.low, self.high)
+
+    def sample_batch(self, rng: random.Random, k: int) -> List[float]:
+        """Vectorized refill: ``uniform(a, b)`` is ``a + (b - a) * random()``.
+
+        The same affine transform CPython applies per call, applied to a
+        :func:`~repro.sim.rng.random_block`, so the sequence is bit-exact.
+        """
+        if type(self) is not UniformDelay:
+            return super().sample_batch(rng, k)
+        low = self.low
+        span = self.high - self.low
+        return [low + span * u for u in random_block(rng, k)]
 
 
 @dataclass(frozen=True)
@@ -66,12 +104,34 @@ class ExponentialDelay(DelayModel):
             raise ValueError("mean must be positive and floor non-negative")
 
     def sample(self, rng: random.Random) -> float:
+        """One exponential draw of the given mean, shifted by the floor."""
         return self.floor + rng.expovariate(1.0 / self.mean)
+
+    def sample_batch(self, rng: random.Random, k: int) -> List[float]:
+        """Vectorized refill via the inverse-CDF recipe ``expovariate`` uses.
+
+        CPython's ``expovariate(lambd)`` is ``-log(1.0 - random()) / lambd``;
+        applying the identical expression (``math.log`` per element -- numpy's
+        ``log`` may differ in the last ulp) to a
+        :func:`~repro.sim.rng.random_block` keeps the sequence bit-exact.
+        """
+        if type(self) is not ExponentialDelay:
+            return super().sample_batch(rng, k)
+        floor = self.floor
+        lambd = 1.0 / self.mean
+        log = math.log
+        return [floor + -log(1.0 - u) / lambd for u in random_block(rng, k)]
 
 
 @dataclass(frozen=True)
 class LogNormalDelay(DelayModel):
-    """Right-skewed delays typical of datacentre tail latencies."""
+    """Right-skewed delays typical of datacentre tail latencies.
+
+    Deliberately keeps the base per-call :meth:`DelayModel.sample_batch`
+    loop: ``lognormvariate`` sits on CPython's rejection-sampled
+    ``normalvariate``, which consumes a *variable* number of uniforms per
+    draw, so no fixed-size block can reproduce the stream exactly.
+    """
 
     median: float = 1.0
     sigma: float = 0.5
@@ -81,6 +141,7 @@ class LogNormalDelay(DelayModel):
             raise ValueError("median and sigma must be positive")
 
     def sample(self, rng: random.Random) -> float:
+        """One log-normal draw with the configured median and shape."""
         return rng.lognormvariate(math.log(self.median), self.sigma)
 
 
@@ -108,9 +169,31 @@ class SpikeDelay(DelayModel):
             raise ValueError("need 0 < spike_low <= spike_high")
 
     def sample(self, rng: random.Random) -> float:
+        """Two draws: the spike coin, then the magnitude of either branch."""
         if rng.random() < self.spike_probability:
             return rng.uniform(self.spike_low, self.spike_high)
         return rng.uniform(self.low, self.high)
+
+    def sample_batch(self, rng: random.Random, k: int) -> List[float]:
+        """Vectorized refill: every sample consumes exactly two draws.
+
+        One uniform for the spike coin, one for the magnitude -- whichever
+        branch the coin picks -- so a block of ``2 * k`` draws maps onto
+        ``k`` samples in the per-call order, bit-exactly.
+        """
+        if type(self) is not SpikeDelay:
+            return super().sample_batch(rng, k)
+        block = random_block(rng, 2 * k)
+        p = self.spike_probability
+        low, span = self.low, self.high - self.low
+        spike_low, spike_span = self.spike_low, self.spike_high - self.spike_low
+        out = []
+        for i in range(0, 2 * k, 2):
+            if block[i] < p:
+                out.append(spike_low + spike_span * block[i + 1])
+            else:
+                out.append(low + span * block[i + 1])
+        return out
 
 
 _NAMED_MODELS = {

@@ -23,6 +23,23 @@ from ..sim.rng import RandomSource
 from .delays import DelayModel, UniformDelay
 from .message import Message, payload_size
 
+#: Direct C-level constructor for the hot path: building the Message tuple
+#: through ``tuple.__new__`` skips the ``Message.__new__`` wrapper frame.
+#: Must stay equivalent to ``Message(sender, dest, payload, send_time,
+#: msg_id)``.
+_tuple_new = tuple.__new__
+
+#: Delay-cache refill sizing: first refill, and the cap the block doubles to.
+_MIN_BATCH = 16
+_MAX_BATCH = 512
+
+#: Payload-size memo cap; one entry per distinct payload object in flight.
+_SIZE_MEMO_LIMIT = 8192
+
+#: type -> __name__ memo for the sent_by_kind counter (process-wide; types
+#: are immortal here, and distinct payload types are few).
+_KIND_NAMES: dict = {}
+
 
 @dataclass
 class TrafficStats:
@@ -41,6 +58,7 @@ class TrafficStats:
     sent_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
     def as_dict(self) -> Dict[str, object]:
+        """The counters as one JSON-ready mapping (used by metrics)."""
         return {
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
@@ -69,24 +87,107 @@ class Network:
         self.self_delay_factor = self_delay_factor
         self.stats = TrafficStats()
         self._next_msg_id = 0
+        # Refillable delay cache: sample_delay serves raw model draws from
+        # this FIFO block and refills it through DelayModel.sample_batch,
+        # amortizing the per-draw RNG overhead.  Because sample_batch is
+        # exact-sequence and this network object is the delays stream's only
+        # consumer, draw i of the run is the same float whether or not it
+        # was prefetched.  The block starts small (many runs send only a
+        # handful of messages) and doubles up to _MAX_BATCH under load.
+        # The refill block is stored reversed so the per-call fast path is a
+        # single list.pop() from the end (O(1), in C) in FIFO draw order.
+        self._delay_cache: list = []
+        self._batch = _MIN_BATCH
+        # Payload-size memo, keyed by payload object identity and holding a
+        # strong reference (so an id can't be recycled while its entry
+        # lives): a broadcast prepares the same payload object once per
+        # destination, and those sends interleave with other processes', so
+        # the recursive payload_size walk runs once per object instead of
+        # once per destination.  Bounded to keep long sweeps from hoarding
+        # dead payloads.
+        self._size_memo: Dict[int, tuple] = {}
 
     def prepare(self, sender: int, dest: int, payload: object, time: float) -> Message:
         """Build the message envelope and account for the send."""
-        self._validate_pid(sender)
-        self._validate_pid(dest)
-        self._next_msg_id += 1
-        message = Message(
-            sender=sender, dest=dest, payload=payload, send_time=time, msg_id=self._next_msg_id
-        )
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += payload_size(payload)
-        self.stats.sent_by_process[sender] += 1
-        self.stats.sent_by_kind[type(payload).__name__] += 1
+        n = self.n
+        if not (0 <= sender < n and 0 <= dest < n):
+            self._validate_pid(sender)
+            self._validate_pid(dest)
+        msg_id = self._next_msg_id = self._next_msg_id + 1
+        message = Message(sender, dest, payload, time, msg_id)
+        memo = self._size_memo
+        entry = memo.get(id(payload))
+        if entry is not None and entry[0] is payload:
+            size = entry[1]
+        else:
+            size = payload_size(payload)
+            if len(memo) >= _SIZE_MEMO_LIMIT:
+                memo.clear()
+            memo[id(payload)] = (payload, size)
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size
+        stats.sent_by_process[sender] += 1
+        kind = _KIND_NAMES.get(type(payload))
+        if kind is None:
+            kind = _KIND_NAMES[type(payload)] = type(payload).__name__
+        stats.sent_by_kind[kind] += 1
         return message
+
+    def transmit(self, sender: int, dest: int, payload: object, time: float):
+        """:meth:`prepare` + :meth:`sample_delay` in one hot-path call.
+
+        Returns ``(message, delay)``.  The kernel's send path crosses the
+        network boundary once per message through this seam; the two
+        constituent methods remain the public API and this method must stay
+        behaviorally identical to calling them in sequence (enforced by the
+        delay-batching regression tests).
+        """
+        n = self.n
+        if not (0 <= sender < n and 0 <= dest < n):
+            self._validate_pid(sender)
+            self._validate_pid(dest)
+        msg_id = self._next_msg_id = self._next_msg_id + 1
+        message = _tuple_new(Message, (sender, dest, payload, time, msg_id))
+        memo = self._size_memo
+        entry = memo.get(id(payload))
+        if entry is not None and entry[0] is payload:
+            size = entry[1]
+        else:
+            size = payload_size(payload)
+            if len(memo) >= _SIZE_MEMO_LIMIT:
+                memo.clear()
+            memo[id(payload)] = (payload, size)
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size
+        stats.sent_by_process[sender] += 1
+        kind = _KIND_NAMES.get(type(payload))
+        if kind is None:
+            kind = _KIND_NAMES[type(payload)] = type(payload).__name__
+        stats.sent_by_kind[kind] += 1
+        cache = self._delay_cache
+        if not cache:
+            cache = self.delay_model.sample_batch(self._rng, self._batch)
+            cache.reverse()
+            self._delay_cache = cache
+            if self._batch < _MAX_BATCH:
+                self._batch *= 2
+        delay = cache.pop()
+        if sender == dest:
+            delay *= self.self_delay_factor
+        return message, delay
 
     def sample_delay(self, sender: int, dest: int) -> float:
         """Transit time for one message; self-addressed messages are faster."""
-        delay = self.delay_model.sample(self._rng)
+        cache = self._delay_cache
+        if not cache:
+            cache = self.delay_model.sample_batch(self._rng, self._batch)
+            cache.reverse()
+            self._delay_cache = cache
+            if self._batch < _MAX_BATCH:
+                self._batch *= 2
+        delay = cache.pop()
         if sender == dest:
             delay *= self.self_delay_factor
         return delay
@@ -112,6 +213,7 @@ class Network:
             raise ValueError(f"unknown fault kind {kind!r}; expected 'omitted' or 'duplicated'")
 
     def _validate_pid(self, pid: int) -> None:
+        """Raise ``ValueError`` when ``pid`` is outside ``0..n-1``."""
         if not 0 <= pid < self.n:
             raise ValueError(f"process id {pid} out of range 0..{self.n - 1}")
 

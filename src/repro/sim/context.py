@@ -13,11 +13,14 @@ The kernel interprets each effect as one atomic step of the process, charges
 the appropriate virtual-time cost, and resumes the generator with the step's
 result.  This mirrors the paper's model of sequential processes executing
 atomic steps interleaved by an asynchronous adversary.
+
+Effects are allocated once per process step, so they are plain ``__slots__``
+classes rather than dataclasses: construction is a couple of slot stores and
+no per-instance dict exists.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence, Tuple
 
 
@@ -27,15 +30,19 @@ class Effect:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
 class SendEffect(Effect):
     """Send ``payload`` to process ``dest`` over the asynchronous network."""
 
-    dest: int
-    payload: Any
+    __slots__ = ("dest", "payload")
+
+    def __init__(self, dest: int, payload: Any) -> None:
+        self.dest = dest
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"SendEffect(dest={self.dest!r}, payload={self.payload!r})"
 
 
-@dataclass(frozen=True)
 class WaitEffect(Effect):
     """Block until ``predicate(mailbox)`` returns a non-``None`` value.
 
@@ -45,22 +52,38 @@ class WaitEffect(Effect):
     becomes the result of the wait.
     """
 
-    predicate: Callable[[Sequence[Any]], Any]
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Callable[[Sequence[Any]], Any]) -> None:
+        self.predicate = predicate
+
+    def __repr__(self) -> str:
+        return f"WaitEffect(predicate={self.predicate!r})"
 
 
-@dataclass(frozen=True)
 class SharedMemEffect(Effect):
     """Execute one linearizable shared-memory primitive atomically."""
 
-    operation: Callable[..., Any]
-    args: Tuple[Any, ...] = ()
+    __slots__ = ("operation", "args")
+
+    def __init__(self, operation: Callable[..., Any], args: Tuple[Any, ...] = ()) -> None:
+        self.operation = operation
+        self.args = args
+
+    def __repr__(self) -> str:
+        return f"SharedMemEffect(operation={self.operation!r}, args={self.args!r})"
 
 
-@dataclass(frozen=True)
 class LocalEffect(Effect):
     """A local computation step with no environment interaction."""
 
-    duration: Optional[float] = None
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: Optional[float] = None) -> None:
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return f"LocalEffect(duration={self.duration!r})"
 
 
 class RoundLimitExceeded(Exception):
@@ -81,16 +104,43 @@ class RoundLimitExceeded(Exception):
         self.limit = limit
 
 
-@dataclass
 class ProcessStats:
     """Per-process counters maintained by the kernel."""
 
-    steps: int = 0
-    messages_sent: int = 0
-    sm_ops: int = 0
-    waits: int = 0
-    rounds: int = 0
-    coin_flips: int = 0
+    __slots__ = ("steps", "messages_sent", "sm_ops", "waits", "rounds", "coin_flips")
+
+    def __init__(
+        self,
+        steps: int = 0,
+        messages_sent: int = 0,
+        sm_ops: int = 0,
+        waits: int = 0,
+        rounds: int = 0,
+        coin_flips: int = 0,
+    ) -> None:
+        self.steps = steps
+        self.messages_sent = messages_sent
+        self.sm_ops = sm_ops
+        self.waits = waits
+        self.rounds = rounds
+        self.coin_flips = coin_flips
+
+    def __getstate__(self):
+        """Pickle support (full-results mode ships stats across shards)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, ProcessStats):
+            return NotImplemented
+        return all(getattr(self, name) == getattr(other, name) for name in self.__slots__)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}={getattr(self, name)!r}" for name in self.__slots__)
+        return f"ProcessStats({parts})"
 
 
 class ProcessContext:
@@ -102,6 +152,8 @@ class ProcessContext:
     coin objects handed to them by the harness, whose primitive operations
     are always routed back through :meth:`sm_op`).
     """
+
+    __slots__ = ("pid", "_kernel", "stats")
 
     def __init__(self, pid: int, kernel: "SimulationKernel") -> None:  # noqa: F821
         self.pid = pid
@@ -129,12 +181,23 @@ class ProcessContext:
         The macro is intentionally *not* atomic: it expands to one send per
         destination, so a crash occurring part-way through delivers the
         message to an arbitrary prefix of the destinations only -- exactly
-        the unreliable broadcast of Section II-A.
+        the unreliable broadcast of Section II-A.  The body inlines
+        :meth:`send` (same accounting, same one effect per destination)
+        rather than delegating to a sub-generator per destination, and it
+        yields a *single reused* :class:`SendEffect` whose ``dest`` is
+        rewritten per destination: the kernel consumes each yielded effect
+        synchronously before resuming the generator, so the object is never
+        live across two yields.
         """
+        stats = self.stats
+        pid = self.pid
+        effect = SendEffect(dest=pid, payload=payload)
         for dest in self._kernel.process_ids():
-            if not include_self and dest == self.pid:
+            if not include_self and dest == pid:
                 continue
-            yield from self.send(dest, payload)
+            stats.messages_sent += 1
+            effect.dest = dest
+            yield effect
 
     def wait_until(self, predicate: Callable[[Sequence[Any]], Any]):
         """Block until ``predicate(mailbox)`` is non-``None``; return it."""

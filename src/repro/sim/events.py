@@ -1,16 +1,26 @@
 """Event types used by the discrete-event simulation kernel.
 
-The kernel maintains a single priority queue of :class:`ScheduledEvent`
-entries ordered by ``(time, sequence)``.  The sequence number breaks ties
-deterministically, so executions are reproducible even when several events
-share a virtual timestamp.
+The kernel's hot path keeps its priority queue as flat
+``(time, sequence, kind, pid, payload)`` tuples (see :data:`EventKind` and
+the converters below): tuple comparison runs in C, nothing is allocated per
+queue entry beyond the tuple itself, and dispatch is a direct array index on
+``kind``.  The sequence number breaks ties deterministically, so executions
+are reproducible even when several events share a virtual timestamp (and,
+because sequences are unique, ``kind``/``pid``/``payload`` never take part
+in a heap comparison).
+
+The :class:`Event` dataclasses remain the public, adversary-facing API:
+anything that inspects or defers events -- the fault-injection adversary,
+traces, tests -- sees real :class:`Event` objects, built at the boundary by
+:func:`entry_event` and flattened back by :func:`event_entry_fields`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import enum
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 
 class Event:
@@ -70,9 +80,105 @@ class ProcessRecover(Event):
     pid: int
 
 
+class EventKind(enum.IntEnum):
+    """The dense dispatch index of each kernel event type.
+
+    The kernel keeps one handler per kind in a plain list, so dispatching an
+    event is ``handlers[kind](pid, payload)`` -- one C-level list index
+    instead of a type-keyed dict lookup or an isinstance chain.
+    """
+
+    PROCESS_START = 0
+    STEP_RESUME = 1
+    MESSAGE_DELIVERY = 2
+    PROCESS_CRASH = 3
+    PROCESS_PAUSE = 4
+    PROCESS_RECOVER = 5
+
+
+#: How many entries a kind-indexed handler table needs.
+N_EVENT_KINDS = len(EventKind)
+
+#: Exact-type mapping Event class -> kind.  Subclasses of the public event
+#: types are resolved (and cached) through their MRO by :func:`event_kind`,
+#: mirroring how the kernel dispatches effect subclasses.
+_KIND_BY_TYPE = {
+    ProcessStart: EventKind.PROCESS_START,
+    StepResume: EventKind.STEP_RESUME,
+    MessageDelivery: EventKind.MESSAGE_DELIVERY,
+    ProcessCrash: EventKind.PROCESS_CRASH,
+    ProcessPause: EventKind.PROCESS_PAUSE,
+    ProcessRecover: EventKind.PROCESS_RECOVER,
+}
+
+#: kind -> Event class, for boundary reconstruction.
+_TYPE_BY_KIND = (
+    ProcessStart,
+    StepResume,
+    MessageDelivery,
+    ProcessCrash,
+    ProcessPause,
+    ProcessRecover,
+)
+
+
+def event_kind(event_type: type) -> EventKind:
+    """The :class:`EventKind` of an event class (subclasses included).
+
+    The exact-type lookup misses subclasses of the public event types, so
+    walk the MRO once and cache the match -- the hot path stays a single
+    dict hit afterwards.
+    """
+    try:
+        return _KIND_BY_TYPE[event_type]
+    except KeyError:
+        for base in event_type.__mro__[1:]:
+            kind = _KIND_BY_TYPE.get(base)
+            if kind is not None:
+                _KIND_BY_TYPE[event_type] = kind
+                return kind
+        raise TypeError(f"unknown event type: {event_type!r}") from None
+
+
+def event_entry_fields(event: Event) -> Tuple[int, int, Any]:
+    """Flatten a public :class:`Event` object into ``(kind, pid, payload)``.
+
+    The payload slot carries :attr:`StepResume.value` /
+    :attr:`MessageDelivery.message` and is ``None`` for the payload-free
+    event types.
+    """
+    kind = event_kind(type(event))
+    if kind is EventKind.STEP_RESUME:
+        payload = event.value
+    elif kind is EventKind.MESSAGE_DELIVERY:
+        payload = event.message
+    else:
+        payload = None
+    return (int(kind), event.pid, payload)
+
+
+def entry_event(kind: int, pid: int, payload: Any) -> Event:
+    """Reconstruct the public :class:`Event` object of one flat queue entry."""
+    if kind == EventKind.STEP_RESUME:
+        return StepResume(pid=pid, value=payload)
+    if kind == EventKind.MESSAGE_DELIVERY:
+        return MessageDelivery(pid=pid, message=payload)
+    return _TYPE_BY_KIND[kind](pid=pid)
+
+
+def describe_entry(kind: int, pid: int, payload: Any) -> str:
+    """Human-readable description of one flat queue entry (for traces)."""
+    return describe(entry_event(kind, pid, payload))
+
+
 @dataclass(order=True)
 class ScheduledEvent:
-    """A queue entry: an :class:`Event` scheduled at a virtual ``time``."""
+    """A queue entry: an :class:`Event` scheduled at a virtual ``time``.
+
+    The kernel itself now queues flat tuples; this class remains as the
+    public representation of "an event at a time" for tests and tooling
+    (ordering semantics are identical to the kernel's tuples).
+    """
 
     time: float
     sequence: int

@@ -6,10 +6,17 @@ and the links to the message-passing and shared-memory substrates.  It is an
 order of messages are controlled entirely by the (seeded) event schedule, so
 the algorithms can assume nothing beyond what the paper's model grants them.
 
+The hot path is deliberately flat (see ``docs/performance.md``): the queue
+holds ``(time, sequence, kind, pid, payload)`` tuples, dispatch is a direct
+list index on :class:`~repro.sim.events.EventKind`, quiescence is a live
+counter instead of a per-event scan, and trace strings are only built when
+tracing is enabled.  The public :class:`~repro.sim.events.Event` dataclasses
+appear only at the boundary (adversary consultation, traces, backlogs).
+
 An explicit fault-injection adversary (:mod:`repro.adversary`) can sharpen
-that further: when installed, it is consulted at message-send time (omission,
-duplication, reordering, partitions) and at event-dispatch time (per-process
-slowdowns), and may schedule transient outages via
+the schedule further: when installed, it is consulted at message-send time
+(omission, duplication, reordering, partitions) and at event-dispatch time
+(per-process slowdowns), and may schedule transient outages via
 :meth:`SimulationKernel.schedule_pause`.  With no adversary installed those
 hooks cost one ``is None`` check per event and nothing else.
 """
@@ -18,8 +25,9 @@ from __future__ import annotations
 
 import enum
 import heapq
+from heapq import heappop, heappush
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from .context import (
     LocalEffect,
@@ -31,19 +39,21 @@ from .context import (
     WaitEffect,
 )
 from .events import (
-    Event,
-    MessageDelivery,
-    ProcessCrash,
-    ProcessPause,
-    ProcessRecover,
-    ProcessStart,
-    ScheduledEvent,
-    StepResume,
-    describe,
+    EventKind,
+    describe_entry,
+    entry_event,
+    event_entry_fields,
 )
 from .process import ProcessState, SimProcess
 from .rng import RandomSource
 from .trace import Trace
+
+_START = int(EventKind.PROCESS_START)
+_RESUME = int(EventKind.STEP_RESUME)
+_DELIVERY = int(EventKind.MESSAGE_DELIVERY)
+_CRASH = int(EventKind.PROCESS_CRASH)
+_PAUSE = int(EventKind.PROCESS_PAUSE)
+_RECOVER = int(EventKind.PROCESS_RECOVER)
 
 
 class RunStatus(enum.Enum):
@@ -128,24 +138,37 @@ class SimulationKernel:
         self.rng = rng if rng is not None else RandomSource(seed)
         self.now: float = 0.0
         self.trace = Trace(enabled=self.config.trace, max_entries=self.config.trace_max_entries)
-        self._queue: List[ScheduledEvent] = []
+        #: Flat event queue: ``(time, sequence, kind, pid, payload)`` tuples.
+        self._queue: List[Tuple[float, int, int, int, Any]] = []
         self._sequence = 0
         self._processes: Dict[int, SimProcess] = {}
+        #: Registered processes that have not yet reached a terminal state;
+        #: maintained by :meth:`_settle` so the run loop's quiescence check
+        #: is one integer comparison instead of an O(n) scan per event.
+        self._live = 0
         self._network = None
         self._adversary = None
+        #: Adversary-deferred events, keyed by the re-queued entry's sequence
+        #: number.  Keeps the *same* :class:`Event` object for the second
+        #: offer, so the adversary's identity-based once-only bookkeeping
+        #: behaves exactly as it did when the queue held event objects.
+        self._deferred: Dict[int, Any] = {}
         self.events_processed = 0
         self.dropped_deliveries = 0
         self._sched_rng = self.rng.stream("kernel", "jitter")
-        # Type-keyed dispatch tables: the event/effect mix is decided by the
-        # algorithms, so the hot loop should not walk an isinstance chain.
-        self._event_handlers: Dict[type, Callable[[Any], None]] = {
-            ProcessStart: self._handle_start,
-            StepResume: self._handle_resume,
-            MessageDelivery: self._handle_delivery,
-            ProcessCrash: self._handle_crash,
-            ProcessPause: self._handle_pause,
-            ProcessRecover: self._handle_recover,
-        }
+        self._sched_random = self._sched_rng.random
+        # Kind-indexed dispatch: the run loop indexes this list directly with
+        # the entry's EventKind.  Built from the *current* class attributes at
+        # construction time, so tests may patch handler methods on the class
+        # before instantiating a kernel.
+        self._handlers: List[Callable[[int, Any], None]] = [
+            self._handle_start,
+            self._handle_resume,
+            self._handle_delivery,
+            self._handle_crash,
+            self._handle_pause,
+            self._handle_recover,
+        ]
         self._effect_handlers: Dict[type, Callable[[SimProcess, Any], None]] = {
             SendEffect: self._do_send,
             SharedMemEffect: self._do_sm_op,
@@ -190,7 +213,8 @@ class SimulationKernel:
         context = ProcessContext(pid, self)
         proc = SimProcess(pid=pid, context=context, factory=factory)
         self._processes[pid] = proc
-        self._schedule(0.0, ProcessStart(pid=pid))
+        self._live += 1
+        self._schedule(0.0, _START, pid, None)
         return proc
 
     def schedule_crash(self, pid: int, time: float) -> None:
@@ -199,7 +223,7 @@ class SimulationKernel:
             raise KeyError(f"unknown process id {pid}")
         if time < 0:
             raise ValueError("crash time must be non-negative")
-        self._schedule(time, ProcessCrash(pid=pid))
+        self._schedule(time, _CRASH, pid, None)
 
     def schedule_pause(self, pid: int, down_at: float, up_at: float) -> None:
         """Schedule a transient outage of ``pid`` during ``[down_at, up_at)``."""
@@ -207,8 +231,8 @@ class SimulationKernel:
             raise KeyError(f"unknown process id {pid}")
         if down_at < 0 or up_at <= down_at:
             raise ValueError(f"need 0 <= down_at < up_at, got [{down_at}, {up_at})")
-        self._schedule(down_at, ProcessPause(pid=pid))
-        self._schedule(up_at, ProcessRecover(pid=pid))
+        self._schedule(down_at, _PAUSE, pid, None)
+        self._schedule(up_at, _RECOVER, pid, None)
 
     def process_ids(self) -> List[int]:
         """All registered process ids, in ascending order."""
@@ -224,115 +248,347 @@ class SimulationKernel:
         return dict(self._processes)
 
     # ------------------------------------------------------------- scheduling
-    def _schedule(self, time: float, event: Event) -> None:
+    def _schedule(self, time: float, kind: int, pid: int, payload: Any) -> None:
         self._sequence += 1
-        heapq.heappush(self._queue, ScheduledEvent(time=time, sequence=self._sequence, event=event))
+        heappush(self._queue, (time, self._sequence, kind, pid, payload))
+
+    def schedule_event(self, time: float, event) -> None:
+        """Schedule a public :class:`~repro.sim.events.Event` object.
+
+        The boundary converter for callers holding event objects (tests,
+        tooling); the kernel's own paths schedule flat entries directly.
+        """
+        kind, pid, payload = event_entry_fields(event)
+        self._schedule(time, kind, pid, payload)
 
     def _jitter(self) -> float:
         if self.config.scheduling_jitter <= 0:
             return 0.0
-        return self._sched_rng.random() * self.config.scheduling_jitter
+        return self._sched_random() * self.config.scheduling_jitter
 
     def _resume_later(self, pid: int, value: Any, delay: float) -> None:
-        self._schedule(self.now + delay + self._jitter(), StepResume(pid=pid, value=value))
+        jitter = self.config.scheduling_jitter
+        if jitter > 0:
+            time = self.now + delay + self._sched_random() * jitter
+        else:
+            time = self.now + delay
+        self._sequence += 1
+        heappush(self._queue, (time, self._sequence, _RESUME, pid, value))
 
     # -------------------------------------------------------------- main loop
     def run(self) -> SimulationResult:
-        """Process events until completion, quiescence or the time bound."""
+        """Process events until completion, quiescence or the time bound.
+
+        The two majority event kinds -- message deliveries and step resumes
+        (including the resume's send/wait effect handling) -- are inlined
+        into the loop body so the whole hot chain runs on loop-hoisted
+        locals with no intervening call frames.  The ``_handle_*`` methods
+        remain as the dispatch seam for the remaining kinds and for any
+        entries handled through the table.  Everything here must stay
+        bit-identical to the out-of-line handlers (the golden tests compare
+        full e1-e9 summaries against a pre-refactor fixture).
+        """
         if not self._processes:
             raise RuntimeError("no processes registered")
         queue = self._queue
         trace = self.trace
+        # Hoisted once per run: tracing cannot be toggled mid-run (and
+        # Trace.record self-guards anyway, so boundary paths stay correct).
+        trace_enabled = trace.enabled
         adversary = self._adversary
-        max_time = self.config.max_time
-        while queue:
-            entry = heapq.heappop(queue)
-            if entry.time > max_time:
-                self.now = max_time
-                return self._result(RunStatus.TIMEOUT)
-            if entry.time > self.now:
-                self.now = entry.time
-            if adversary is not None:
-                extra = adversary.defer(entry.event, self.now)
-                if extra > 0.0:
-                    self._schedule(self.now + extra, entry.event)
+        handlers = self._handlers
+        processes: Any = self._processes
+        if set(processes) == set(range(len(processes))):
+            # Dense pid range (the common case): a list subscript beats a
+            # dict lookup on the two inlined majority paths below.  Sparse
+            # pid sets keep the dict.
+            processes = [processes[index] for index in range(len(processes))]
+        network = self._network
+        net_stats = network.stats if network is not None else None
+        sched_random = self._sched_random
+        effect_handlers = self._effect_handlers
+        config = self.config
+        max_time = config.max_time
+        local_step_delay = config.local_step_delay
+        jitter = config.scheduling_jitter
+        ready = ProcessState.READY
+        blocked = ProcessState.BLOCKED
+        crashed = ProcessState.CRASHED
+        processed = 0
+        try:
+            while queue:
+                time, sequence, kind, pid, payload = heappop(queue)
+                if time > max_time:
+                    self.now = max_time
+                    self.events_processed += processed
+                    processed = 0
+                    return self._result(RunStatus.TIMEOUT)
+                if time > self.now:
+                    self.now = time
+                if adversary is not None:
+                    event = self._deferred.pop(sequence, None)
+                    if event is None:
+                        event = entry_event(kind, pid, payload)
+                    extra = adversary.defer(event, self.now)
+                    if extra > 0.0:
+                        self._sequence += 1
+                        self._deferred[self._sequence] = event
+                        heappush(
+                            queue, (self.now + extra, self._sequence, kind, pid, payload)
+                        )
+                        continue
+                processed += 1
+                if trace_enabled:
+                    trace.record(self.now, "event", pid, describe_entry(kind, pid, payload))
+                if kind == _DELIVERY:
+                    # Inlined _handle_delivery: deliveries are the majority
+                    # event kind, and they can never settle a process, so the
+                    # quiescence re-check below is skipped too.
+                    proc = processes[pid]
+                    state = proc.state
+                    if state is crashed:
+                        self.dropped_deliveries += 1
+                        continue
+                    if proc.paused:
+                        proc.paused_backlog.append((_DELIVERY, pid, payload))
+                        continue
+                    proc.mailbox.append(payload)
+                    if net_stats is not None:
+                        net_stats.messages_delivered += 1
+                        net_stats.delivered_to_process[pid] += 1
+                    if state is blocked:
+                        result = proc.wait_predicate(proc.mailbox)
+                        if result is not None:
+                            proc.wait_predicate = None
+                            proc.state = ready
+                            if jitter > 0:
+                                time = self.now + local_step_delay + sched_random() * jitter
+                            else:
+                                time = self.now + local_step_delay
+                            self._sequence += 1
+                            heappush(queue, (time, self._sequence, _RESUME, pid, result))
                     continue
-            self.events_processed += 1
-            if trace.enabled:
-                trace.record(self.now, "event", self._event_pid(entry.event), describe(entry.event))
-            self._dispatch(entry.event)
-            if self._all_settled():
-                break
+                if kind == _RESUME:
+                    # Inlined _handle_resume, including the _advance body and
+                    # the send/wait effect handlers.
+                    proc = processes[pid]
+                    state = proc.state
+                    if state is not ready and state is not blocked:
+                        continue
+                    if proc.paused:
+                        proc.paused_backlog.append((_RESUME, pid, payload))
+                        continue
+                    proc.stats.steps += 1
+                    try:
+                        effect = proc.generator.send(payload)
+                    except StopIteration as stop:
+                        proc.decision = stop.value
+                        proc.decision_time = self.now
+                        self._settle(
+                            proc,
+                            ProcessState.DECIDED if stop.value is not None else ProcessState.HALTED,
+                        )
+                        if stop.value is None:
+                            proc.halt_reason = "returned None"
+                        if trace_enabled:
+                            trace.record(self.now, "decide", pid, repr(stop.value))
+                        if self._live == 0:
+                            break
+                        continue
+                    except RoundLimitExceeded as exceeded:
+                        self._settle(proc, ProcessState.HALTED)
+                        proc.halt_reason = str(exceeded)
+                        if trace_enabled:
+                            trace.record(self.now, "halt", pid, proc.halt_reason)
+                        if self._live == 0:
+                            break
+                        continue
+                    cls = type(effect)
+                    if cls is SendEffect:
+                        if network is None:
+                            raise RuntimeError("no network attached; cannot handle SendEffect")
+                        dest = effect.dest
+                        now = self.now
+                        message, delay = network.transmit(pid, dest, effect.payload, now)
+                        if trace_enabled:
+                            trace.record(now, "send", pid, f"to={dest} {effect.payload!r}")
+                        if adversary is None:
+                            # One batched sequence bump covers both pushes; the
+                            # delivery keeps the lower number, exactly as two
+                            # bumps would assign.
+                            sequence = self._sequence + 2
+                            self._sequence = sequence
+                            heappush(queue, (now + delay, sequence - 1, _DELIVERY, dest, message))
+                        else:
+                            self._adversarial_send(pid, dest, message, delay)
+                            sequence = self._sequence + 1
+                            self._sequence = sequence
+                        if jitter > 0:
+                            time = now + local_step_delay + sched_random() * jitter
+                        else:
+                            time = now + local_step_delay
+                        heappush(queue, (time, sequence, _RESUME, pid, None))
+                    elif cls is WaitEffect:
+                        result = effect.predicate(proc.mailbox)
+                        if result is not None:
+                            if jitter > 0:
+                                time = self.now + local_step_delay + sched_random() * jitter
+                            else:
+                                time = self.now + local_step_delay
+                            self._sequence += 1
+                            heappush(queue, (time, self._sequence, _RESUME, pid, result))
+                        else:
+                            proc.state = blocked
+                            proc.wait_predicate = effect.predicate
+                            if trace_enabled:
+                                trace.record(self.now, "block", pid, "waiting on messages")
+                    else:
+                        handler = effect_handlers.get(cls) or self._resolve_effect_handler(effect)
+                        if handler is None:
+                            raise TypeError(
+                                f"process {pid} yielded {effect!r}, which is not a recognised effect"
+                            )
+                        handler(proc, effect)
+                        if self._live == 0:
+                            break
+                    continue
+                handlers[kind](pid, payload)
+                if self._live == 0:
+                    break
+        finally:
+            # The counter is accumulated locally (one attribute store per
+            # run, not per event) and flushed on every exit path.
+            self.events_processed += processed
         return self._result(self._final_status())
 
-    @staticmethod
-    def _event_pid(event: Event) -> Optional[int]:
-        return getattr(event, "pid", None)
+    def _all_settled(self) -> bool:
+        """Whether every registered process reached a terminal state."""
+        return self._live == 0
 
-    def _dispatch(self, event: Event) -> None:
-        handler = self._event_handlers.get(type(event)) or self._resolve_handler(
-            self._event_handlers, event
-        )
-        if handler is None:  # pragma: no cover - defensive
-            raise TypeError(f"unknown event type: {event!r}")
-        handler(event)
-
-    @staticmethod
-    def _resolve_handler(table: Dict[type, Callable], obj: Any) -> Optional[Callable]:
-        """Subclasses of the known event/effect types dispatch like their base.
-
-        The exact-type lookup misses them, so walk the MRO once and cache the
-        match in the table — the hot loop stays a single dict hit afterwards.
-        """
-        for base in type(obj).__mro__[1:]:
-            handler = table.get(base)
-            if handler is not None:
-                table[type(obj)] = handler
-                return handler
-        return None
+    def _settle(self, proc: SimProcess, state: ProcessState) -> None:
+        """Move ``proc`` into terminal ``state``, maintaining the live count."""
+        proc.state = state
+        self._live -= 1
 
     # ---------------------------------------------------------- event handlers
-    def _handle_start(self, event: ProcessStart) -> None:
-        proc = self._processes[event.pid]
+    def _handle_start(self, pid: int, payload: Any) -> None:
+        proc = self._processes[pid]
         if proc.state is ProcessState.CRASHED:
             return
         if proc.paused:
             # A deferred start racing into an outage waits it out like any
             # other step: a down process must not execute, let alone send.
-            proc.paused_backlog.append(event)
+            proc.paused_backlog.append((_START, pid, payload))
             return
         proc.start()
         self._advance(proc, None)
 
-    def _handle_resume(self, event: StepResume) -> None:
-        proc = self._processes[event.pid]
-        if proc.state.is_terminal():
+    def _handle_resume(self, pid: int, payload: Any) -> None:
+        proc = self._processes[pid]
+        state = proc.state
+        # Identity checks against the two non-terminal states; READY first
+        # because it is the overwhelmingly common case on the hot path.
+        if state is not ProcessState.READY and state is not ProcessState.BLOCKED:
             return
         if proc.paused:
-            proc.paused_backlog.append(event)
+            proc.paused_backlog.append((_RESUME, pid, payload))
             return
-        self._advance(proc, event.value)
+        # The body of _advance (and the send/wait effect handlers) is inlined
+        # here: resume -> step -> send is the kernel's hottest chain, and the
+        # three call frames it would otherwise cross are pure overhead.
+        # Exact-type checks keep effect subclasses on the table path below,
+        # which matches _advance bit for bit.
+        proc.stats.steps += 1
+        try:
+            effect = proc.generator.send(payload)
+        except StopIteration as stop:
+            proc.decision = stop.value
+            proc.decision_time = self.now
+            self._settle(
+                proc, ProcessState.DECIDED if stop.value is not None else ProcessState.HALTED
+            )
+            if stop.value is None:
+                proc.halt_reason = "returned None"
+            if self.trace.enabled:
+                self.trace.record(self.now, "decide", pid, repr(stop.value))
+            return
+        except RoundLimitExceeded as exceeded:
+            self._settle(proc, ProcessState.HALTED)
+            proc.halt_reason = str(exceeded)
+            if self.trace.enabled:
+                self.trace.record(self.now, "halt", pid, proc.halt_reason)
+            return
+        cls = type(effect)
+        if cls is SendEffect:
+            network = self._network
+            if network is None:
+                raise RuntimeError("no network attached; cannot handle SendEffect")
+            dest = effect.dest
+            now = self.now
+            message, delay = network.transmit(pid, dest, effect.payload, now)
+            trace = self.trace
+            if trace.enabled:
+                trace.record(now, "send", pid, f"to={dest} {effect.payload!r}")
+            queue = self._queue
+            if self._adversary is None:
+                # One batched sequence bump covers both pushes; the delivery
+                # keeps the lower number, exactly as two bumps would assign.
+                sequence = self._sequence + 2
+                self._sequence = sequence
+                heappush(queue, (now + delay, sequence - 1, _DELIVERY, dest, message))
+            else:
+                self._adversarial_send(pid, dest, message, delay)
+                sequence = self._sequence + 1
+                self._sequence = sequence
+            config = self.config
+            jitter = config.scheduling_jitter
+            if jitter > 0:
+                time = now + config.local_step_delay + self._sched_random() * jitter
+            else:
+                time = now + config.local_step_delay
+            heappush(queue, (time, sequence, _RESUME, pid, None))
+        elif cls is WaitEffect:
+            result = effect.predicate(proc.mailbox)
+            if result is not None:
+                self._resume_later(pid, result, self.config.local_step_delay)
+            else:
+                proc.state = ProcessState.BLOCKED
+                proc.wait_predicate = effect.predicate
+                if self.trace.enabled:
+                    self.trace.record(self.now, "block", pid, "waiting on messages")
+        else:
+            handler = self._effect_handlers.get(cls) or self._resolve_effect_handler(effect)
+            if handler is None:
+                raise TypeError(
+                    f"process {pid} yielded {effect!r}, which is not a recognised effect"
+                )
+            handler(proc, effect)
 
-    def _handle_delivery(self, event: MessageDelivery) -> None:
-        proc = self._processes[event.pid]
+    def _handle_delivery(self, pid: int, payload: Any) -> None:
+        proc = self._processes[pid]
         if proc.state is ProcessState.CRASHED:
             self.dropped_deliveries += 1
             return
         if proc.paused:
-            proc.paused_backlog.append(event)
+            proc.paused_backlog.append((_DELIVERY, pid, payload))
             return
-        proc.deliver(event.message)
-        if self._network is not None:
-            self._network.record_delivery(event.message)
+        proc.mailbox.append(payload)
+        network = self._network
+        if network is not None:
+            # Inlined Network.record_delivery (the method remains the public
+            # seam); a delivery entry's pid is always the message's dest.
+            stats = network.stats
+            stats.messages_delivered += 1
+            stats.delivered_to_process[pid] += 1
         if proc.state is ProcessState.BLOCKED:
-            result = proc.check_wait()
+            result = proc.wait_predicate(proc.mailbox)
             if result is not None:
                 proc.wait_predicate = None
                 proc.state = ProcessState.READY
-                self._resume_later(proc.pid, result, self.config.local_step_delay)
+                self._resume_later(pid, result, self.config.local_step_delay)
 
-    def _handle_crash(self, event: ProcessCrash) -> None:
-        proc = self._processes[event.pid]
+    def _handle_crash(self, pid: int, payload: Any) -> None:
+        proc = self._processes[pid]
         if proc.state.is_terminal():
             # Crashing an already decided/halted process has no further effect,
             # but the process still counts as crashed for fault accounting.
@@ -340,20 +596,20 @@ class SimulationKernel:
                 proc.state = ProcessState.CRASHED
                 proc.crash_time = self.now
             return
-        proc.state = ProcessState.CRASHED
+        self._settle(proc, ProcessState.CRASHED)
         proc.crash_time = self.now
         proc.wait_predicate = None
 
-    def _handle_pause(self, event: ProcessPause) -> None:
+    def _handle_pause(self, pid: int, payload: Any) -> None:
         """Begin a transient outage (see :class:`~repro.sim.events.ProcessPause`)."""
-        proc = self._processes[event.pid]
+        proc = self._processes[pid]
         if proc.state.is_terminal() or proc.paused:
             return
         proc.paused = True
         if self.trace.enabled:
-            self.trace.record(self.now, "pause", proc.pid, "transient outage begins")
+            self.trace.record(self.now, "pause", pid, "transient outage begins")
 
-    def _handle_recover(self, event: ProcessRecover) -> None:
+    def _handle_recover(self, pid: int, payload: Any) -> None:
         """End a transient outage: replay the backlog in its buffered order.
 
         Replayed events are re-queued at the current time (the buffered
@@ -361,62 +617,96 @@ class SimulationKernel:
         handlers then apply the usual state checks, so a process that
         crashed for good while paused still drops its backlog.
         """
-        proc = self._processes[event.pid]
+        proc = self._processes[pid]
         if not proc.paused:
             return
         proc.paused = False
         backlog, proc.paused_backlog = proc.paused_backlog, []
-        for pending in backlog:
-            self._schedule(self.now, pending)
+        for kind, event_pid, event_payload in backlog:
+            self._schedule(self.now, kind, event_pid, event_payload)
         if self.trace.enabled:
             self.trace.record(
-                self.now, "recover", proc.pid, f"replaying {len(backlog)} buffered event(s)"
+                self.now, "recover", pid, f"replaying {len(backlog)} buffered event(s)"
             )
 
     # ----------------------------------------------------------- process steps
     def _advance(self, proc: SimProcess, value: Any) -> None:
-        proc.context.stats.steps += 1
+        proc.stats.steps += 1
         try:
             effect = proc.generator.send(value)
         except StopIteration as stop:
             proc.decision = stop.value
             proc.decision_time = self.now
-            proc.state = ProcessState.DECIDED if stop.value is not None else ProcessState.HALTED
+            self._settle(
+                proc, ProcessState.DECIDED if stop.value is not None else ProcessState.HALTED
+            )
             if stop.value is None:
                 proc.halt_reason = "returned None"
             if self.trace.enabled:
                 self.trace.record(self.now, "decide", proc.pid, repr(stop.value))
             return
         except RoundLimitExceeded as exceeded:
-            proc.state = ProcessState.HALTED
+            self._settle(proc, ProcessState.HALTED)
             proc.halt_reason = str(exceeded)
             if self.trace.enabled:
                 self.trace.record(self.now, "halt", proc.pid, proc.halt_reason)
             return
-        self._handle_effect(proc, effect)
-
-    def _handle_effect(self, proc: SimProcess, effect: Any) -> None:
-        handler = self._effect_handlers.get(type(effect)) or self._resolve_handler(
-            self._effect_handlers, effect
-        )
+        handler = self._effect_handlers.get(type(effect)) or self._resolve_effect_handler(effect)
         if handler is None:
             raise TypeError(
                 f"process {proc.pid} yielded {effect!r}, which is not a recognised effect"
             )
         handler(proc, effect)
 
+    def _handle_effect(self, proc: SimProcess, effect: Any) -> None:
+        """Dispatch one yielded effect (the public seam; `_advance` inlines it)."""
+        handler = self._effect_handlers.get(type(effect)) or self._resolve_effect_handler(effect)
+        if handler is None:
+            raise TypeError(
+                f"process {proc.pid} yielded {effect!r}, which is not a recognised effect"
+            )
+        handler(proc, effect)
+
+    def _resolve_effect_handler(self, effect: Any) -> Optional[Callable]:
+        """Subclasses of the known effect types dispatch like their base.
+
+        The exact-type lookup misses them, so walk the MRO once and cache the
+        match in the table -- the hot path stays a single dict hit afterwards.
+        """
+        table = self._effect_handlers
+        for base in type(effect).__mro__[1:]:
+            handler = table.get(base)
+            if handler is not None:
+                table[type(effect)] = handler
+                return handler
+        return None
+
     def _do_send(self, proc: SimProcess, effect: SendEffect) -> None:
-        if self._network is None:
+        network = self._network
+        if network is None:
             raise RuntimeError("no network attached; cannot handle SendEffect")
-        message = self._network.prepare(sender=proc.pid, dest=effect.dest, payload=effect.payload, time=self.now)
-        delay = self._network.sample_delay(sender=proc.pid, dest=effect.dest)
+        pid = proc.pid
+        dest = effect.dest
+        now = self.now
+        message, delay = network.transmit(pid, dest, effect.payload, now)
         if self.trace.enabled:
-            self.trace.record(self.now, "send", proc.pid, f"to={effect.dest} {effect.payload!r}")
+            self.trace.record(now, "send", pid, f"to={dest} {effect.payload!r}")
         if self._adversary is None:
-            self._schedule(self.now + delay, MessageDelivery(pid=effect.dest, message=message))
+            self._sequence += 1
+            heappush(
+                self._queue, (now + delay, self._sequence, _DELIVERY, dest, message)
+            )
         else:
-            self._adversarial_send(proc.pid, effect.dest, message, delay)
-        self._resume_later(proc.pid, None, self.config.local_step_delay)
+            self._adversarial_send(pid, dest, message, delay)
+        # Inlined _resume_later (this is the hottest reschedule site).
+        config = self.config
+        jitter = config.scheduling_jitter
+        if jitter > 0:
+            time = self.now + config.local_step_delay + self._sched_random() * jitter
+        else:
+            time = self.now + config.local_step_delay
+        self._sequence += 1
+        heappush(self._queue, (time, self._sequence, _RESUME, pid, None))
 
     def _adversarial_send(self, sender: int, dest: int, message: Any, delay: float) -> None:
         """Turn one send into the adversary's delivery verdict (slow path).
@@ -433,7 +723,7 @@ class SimulationKernel:
         for position, one_delay in enumerate(delays):
             if position:
                 self._network.record_fault("duplicated")
-            self._schedule(self.now + one_delay, MessageDelivery(pid=dest, message=message))
+            self._schedule(self.now + one_delay, _DELIVERY, dest, message)
 
     def _do_sm_op(self, proc: SimProcess, effect: SharedMemEffect) -> None:
         result = effect.operation(*effect.args)
@@ -461,9 +751,6 @@ class SimulationKernel:
         self._resume_later(proc.pid, None, delay)
 
     # ------------------------------------------------------------------ ending
-    def _all_settled(self) -> bool:
-        return all(proc.state.is_terminal() for proc in self._processes.values())
-
     def _final_status(self) -> RunStatus:
         correct = [proc for proc in self._processes.values() if proc.is_correct]
         if correct and all(proc.has_decided for proc in correct):

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from .context import ProcessContext
@@ -23,32 +22,72 @@ class ProcessState(enum.Enum):
         return self in (ProcessState.CRASHED, ProcessState.DECIDED, ProcessState.HALTED)
 
 
-@dataclass
 class SimProcess:
     """Kernel-side record of one simulated process.
 
     The algorithm itself lives in ``generator`` (created by calling the
     algorithm factory with the process context); the kernel drives it by
     sending step results into it and interpreting the effects it yields.
+
+    A ``__slots__`` class rather than a dataclass: the kernel touches these
+    records on every event, and slot access skips the per-instance dict.
     """
 
-    pid: int
-    context: ProcessContext
-    factory: Callable[[ProcessContext], Any]
-    generator: Any = None
-    state: ProcessState = ProcessState.READY
-    mailbox: List[Any] = field(default_factory=list)
-    wait_predicate: Optional[Callable[[List[Any]], Any]] = None
-    decision: Any = None
-    decision_time: Optional[float] = None
-    crash_time: Optional[float] = None
-    halt_reason: Optional[str] = None
-    started: bool = False
-    #: Transient-outage flag (see :class:`~repro.sim.events.ProcessPause`):
-    #: while paused, step and delivery events are buffered in
-    #: ``paused_backlog`` and replayed at recovery.
-    paused: bool = False
-    paused_backlog: List[Any] = field(default_factory=list)
+    __slots__ = (
+        "pid",
+        "context",
+        "stats",
+        "factory",
+        "generator",
+        "state",
+        "mailbox",
+        "wait_predicate",
+        "decision",
+        "decision_time",
+        "crash_time",
+        "halt_reason",
+        "started",
+        "paused",
+        "paused_backlog",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        context: ProcessContext,
+        factory: Callable[[ProcessContext], Any],
+        generator: Any = None,
+        state: ProcessState = ProcessState.READY,
+        mailbox: Optional[List[Any]] = None,
+        wait_predicate: Optional[Callable[[List[Any]], Any]] = None,
+        decision: Any = None,
+        decision_time: Optional[float] = None,
+        crash_time: Optional[float] = None,
+        halt_reason: Optional[str] = None,
+        started: bool = False,
+        paused: bool = False,
+        paused_backlog: Optional[List[Any]] = None,
+    ) -> None:
+        self.pid = pid
+        self.context = context
+        #: Direct reference to ``context.stats`` so the kernel's per-event
+        #: counter bumps skip one attribute hop.
+        self.stats = context.stats if context is not None else None
+        self.factory = factory
+        self.generator = generator
+        self.state = state
+        self.mailbox = [] if mailbox is None else mailbox
+        self.wait_predicate = wait_predicate
+        self.decision = decision
+        self.decision_time = decision_time
+        self.crash_time = crash_time
+        self.halt_reason = halt_reason
+        self.started = started
+        #: Transient-outage flag (see :class:`~repro.sim.events.ProcessPause`):
+        #: while paused, step and delivery events are buffered in
+        #: ``paused_backlog`` and replayed at recovery.
+        self.paused = paused
+        self.paused_backlog = [] if paused_backlog is None else paused_backlog
 
     def start(self) -> None:
         """Instantiate the algorithm generator (first activation)."""

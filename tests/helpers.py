@@ -81,3 +81,92 @@ def drive(generator) -> Any:
 def make_message(sender: int, payload: Any, dest: int = 0, time: float = 0.0, msg_id: int = 0) -> Message:
     """Build a Message envelope for mailbox-level tests."""
     return Message(sender=sender, dest=dest, payload=payload, send_time=time, msg_id=msg_id)
+
+
+# --------------------------------------------------------------------- golden
+# Small, fast configurations of every experiment (e1-e9), used both by
+# scripts/gen_golden_summaries.py (which froze the pre-refactor kernel's
+# summaries into tests/golden/kernel_summaries.json) and by
+# tests/test_golden_kernel.py (which asserts the current kernel still
+# reproduces every one of those RunSummary objects bit-for-bit).
+
+GOLDEN_SEEDS = [1000, 1001]
+
+
+def golden_plans():
+    """The small e1-e9 sweep plans covered by the golden kernel fixture."""
+    from repro.experiments import (
+        e1_figure1,
+        e2_majority_crash,
+        e3_one_for_all,
+        e4_rounds,
+        e5_mm_comparison,
+        e6_degenerate,
+        e7_indulgence,
+        e8_scalability,
+        e9_adversary,
+    )
+
+    seeds = list(GOLDEN_SEEDS)
+    return {
+        "e1": e1_figure1.plan(seeds=seeds),
+        "e2": e2_majority_crash.plan(seeds=seeds, sizes=(7,)),
+        "e3": e3_one_for_all.plan(seeds=seeds, n=6, m=3),
+        "e4": e4_rounds.plan(seeds=seeds, sizes=(6,), proposals=("split",)),
+        "e5": e5_mm_comparison.plan(seeds=seeds, sizes=(8,), cluster_counts=(2,)),
+        "e6": e6_degenerate.plan(seeds=seeds, n=5),
+        "e7": e7_indulgence.plan(seeds=seeds, n=6, m=3, round_cap=12),
+        "e8": e8_scalability.plan(seeds=seeds, sizes=(4, 8)),
+        "e9": e9_adversary.plan(
+            seeds=seeds,
+            scenarios=("lossy-links", "duplication-storm", "partition-drop", "crash-recovery"),
+            intensities=(0.4,),
+            round_cap=15,
+        ),
+    }
+
+
+def compute_golden_summaries():
+    """Run every golden plan serially and return its summaries, JSON-shaped.
+
+    Floats are serialized with ``float.hex()`` so the fixture comparison is
+    exact to the last bit, not merely approximate.
+    """
+    from repro.harness.aggregate import RunSummary, priority_backend, run_priority
+    from repro.harness.runner import run_consensus
+
+    experiments = {}
+    for exp_id, plan in sorted(golden_plans().items()):
+        points = []
+        for point_index, point in enumerate(plan.points):
+            runs = []
+            for seed_position, seed in enumerate(plan.seeds):
+                index = plan.run_index(point_index, seed_position)
+                result = run_consensus(point.config.with_seed(seed))
+                summary = RunSummary.from_result(
+                    result, index, run_priority(plan.entropy, index)
+                )
+                runs.append(
+                    {
+                        "seed": summary.seed,
+                        "index": summary.index,
+                        "priority": float(summary.priority).hex(),
+                        "algorithm": summary.algorithm,
+                        "terminated": summary.terminated,
+                        "safety_ok": summary.safety_ok,
+                        "decided": summary.decided,
+                        "decided_value": summary.decided_value,
+                        "values": {
+                            name: float(value).hex()
+                            for name, value in sorted(summary.values.items())
+                        },
+                    }
+                )
+            points.append({"label": point.label, "runs": runs})
+        experiments[exp_id] = points
+    return {
+        "format": 1,
+        "priority_backend": priority_backend(),
+        "seeds": list(GOLDEN_SEEDS),
+        "experiments": experiments,
+    }

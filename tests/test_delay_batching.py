@@ -1,0 +1,193 @@
+"""Exact-sequence guarantees of batched delay sampling.
+
+The transport's delay cache (PR 6) may prefetch any number of draws ahead of
+the kernel, so correctness of every experiment rests on one contract:
+``DelayModel.sample_batch(rng, k)`` returns bit-identical floats to ``k``
+per-call ``sample(rng)`` draws and leaves ``rng`` in the identical state --
+with or without numpy, for every model, at any batch size.
+"""
+
+import random
+
+import pytest
+
+import repro.sim.rng as rng_module
+from repro.network.delays import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    LogNormalDelay,
+    SpikeDelay,
+    UniformDelay,
+)
+from repro.network.transport import Network
+from repro.sim.rng import RandomSource, random_block
+
+MODELS = [
+    ConstantDelay(),
+    UniformDelay(),
+    UniformDelay(low=0.1, high=9.0),
+    ExponentialDelay(),
+    ExponentialDelay(mean=3.0, floor=0.25),
+    LogNormalDelay(),
+    # spike_probability=0.5 exercises both branches of the two-draw recipe
+    # in every batch size.
+    SpikeDelay(),
+    SpikeDelay(spike_probability=0.5),
+]
+
+BATCH_SIZES = [1, 7, 512]
+
+
+def _model_id(model):
+    return repr(model)
+
+
+@pytest.fixture(params=[True, False], ids=["numpy", "no-numpy"])
+def maybe_numpy(request, monkeypatch):
+    """Run the test body with the vectorized refill on and off."""
+    if request.param:
+        if rng_module._np is None:
+            pytest.skip("numpy not installed")
+    else:
+        monkeypatch.setattr(rng_module, "_np", None)
+    return request.param
+
+
+@pytest.mark.parametrize("k", BATCH_SIZES)
+@pytest.mark.parametrize("model", MODELS, ids=_model_id)
+def test_sample_batch_is_exact_sequence(model, k, maybe_numpy):
+    """Batched draws equal per-call draws bit for bit, same end state."""
+    seed = 12345
+    batched_rng = random.Random(seed)
+    percall_rng = random.Random(seed)
+    batched = model.sample_batch(batched_rng, k)
+    percall = [model.sample(percall_rng) for _ in range(k)]
+    assert batched == percall
+    assert batched_rng.getstate() == percall_rng.getstate()
+
+
+@pytest.mark.parametrize("model", MODELS, ids=_model_id)
+def test_interleaved_batches_continue_the_stream(model, maybe_numpy):
+    """Mixed batch sizes and per-call draws walk one uninterrupted stream."""
+    seed = 777
+    mixed_rng = random.Random(seed)
+    percall_rng = random.Random(seed)
+    mixed = []
+    mixed.extend(model.sample_batch(mixed_rng, 3))
+    mixed.append(model.sample(mixed_rng))
+    mixed.extend(model.sample_batch(mixed_rng, 16))
+    mixed.extend(model.sample_batch(mixed_rng, 1))
+    percall = [model.sample(percall_rng) for _ in range(len(mixed))]
+    assert mixed == percall
+    assert mixed_rng.getstate() == percall_rng.getstate()
+
+
+def test_spike_delay_consumes_two_draws_per_sample(maybe_numpy):
+    """The SpikeDelay recipe: spike coin then magnitude, two uniforms each.
+
+    Verified structurally (state advance) on top of the value equality the
+    other tests give: after ``k`` samples both the batched and the per-call
+    rng have consumed exactly ``2 * k`` uniforms.
+    """
+    model = SpikeDelay(spike_probability=0.5)
+    rng = random.Random(99)
+    counter_rng = random.Random(99)
+    model.sample_batch(rng, 25)
+    for _ in range(2 * 25):
+        counter_rng.random()
+    assert rng.getstate() == counter_rng.getstate()
+
+
+def test_base_class_batch_is_the_percall_loop():
+    """Models without an override inherit the per-call loop (still exact)."""
+
+    class CountingModel(DelayModel):
+        def __init__(self):
+            self.calls = 0
+
+        def sample(self, rng):
+            self.calls += 1
+            return rng.random() + 1.0
+
+    model = CountingModel()
+    rng = random.Random(5)
+    reference = random.Random(5)
+    assert model.sample_batch(rng, 7) == [reference.random() + 1.0 for _ in range(7)]
+    assert model.calls == 7
+
+
+def test_subclass_of_vectorized_model_falls_back_to_percall():
+    """A subclass overriding ``sample`` must not inherit the parent's refill."""
+
+    class DoubledUniform(UniformDelay):
+        def sample(self, rng):
+            return 2.0 * super().sample(rng)
+
+    model = DoubledUniform()
+    rng = random.Random(21)
+    reference = random.Random(21)
+    expected = [model.sample(reference) for _ in range(9)]
+    assert model.sample_batch(rng, 9) == expected
+
+
+@pytest.mark.parametrize("k", [0, 1, 7, 8, 512])
+def test_random_block_matches_percall_uniforms(k, maybe_numpy):
+    """The block primitive under every path: empty, loop and vectorized."""
+    rng = random.Random(31337)
+    reference = random.Random(31337)
+    block = random_block(rng, k)
+    assert block == [reference.random() for _ in range(k)]
+    assert rng.getstate() == reference.getstate()
+
+
+# ------------------------------------------------------------ transport seam
+@pytest.mark.parametrize(
+    "model", [UniformDelay(), ExponentialDelay(), SpikeDelay()], ids=_model_id
+)
+def test_network_delay_cache_serves_the_percall_stream(model, maybe_numpy):
+    """``Network.sample_delay`` with the refill cache equals per-call draws.
+
+    The reference stream is rebuilt from a fresh ``RandomSource`` with the
+    same master seed: the network's delays stream is its sole consumer, so
+    draw ``i`` must be the same float no matter how far the cache prefetched.
+    """
+    network = Network(8, delay_model=model, rng=RandomSource(17))
+    reference_rng = RandomSource(17).stream("network", "delays")
+    for i in range(700):
+        sender = i % 8
+        dest = (i * 3 + 1) % 8
+        expected = model.sample(reference_rng)
+        if sender == dest:
+            expected *= network.self_delay_factor
+        assert network.sample_delay(sender, dest) == expected, f"draw {i} diverged"
+
+
+def test_transmit_equals_prepare_plus_sample_delay():
+    """The combined hot-path seam is the two public methods, exactly."""
+    combined = Network(6, delay_model=UniformDelay(), rng=RandomSource(3))
+    split = Network(6, delay_model=UniformDelay(), rng=RandomSource(3))
+    payloads = [None, 0, 7, "text", (1, 2, 3), {"k": 1.5}, ["x", ("y",)]]
+    for i in range(200):
+        sender = i % 6
+        dest = (i + 1 + i // 6) % 6
+        payload = payloads[i % len(payloads)]
+        message, delay = combined.transmit(sender, dest, payload, float(i))
+        expected_message = split.prepare(sender, dest, payload, float(i))
+        expected_delay = split.sample_delay(sender, dest)
+        assert message == expected_message
+        assert type(message) is type(expected_message)
+        assert (message.sender, message.dest, message.payload) == (sender, dest, payload)
+        assert message.send_time == float(i)
+        assert message.msg_id == expected_message.msg_id
+        assert delay == expected_delay
+    assert combined.stats.as_dict() == split.stats.as_dict()
+    assert dict(combined.stats.sent_by_process) == dict(split.stats.sent_by_process)
+
+
+def test_transmit_validates_pids_like_prepare():
+    network = Network(4, rng=RandomSource(1))
+    with pytest.raises(ValueError):
+        network.transmit(0, 9, "payload", 0.0)
+    with pytest.raises(ValueError):
+        network.transmit(-1, 0, "payload", 0.0)

@@ -1,0 +1,61 @@
+"""The ``timing`` marker plugin: rerun-once semantics and strict mode.
+
+Uses pytest's ``pytester`` fixture to run a miniature suite in-process: a
+flaky test that fails on its first call and passes on the second must end
+up green under the plugin, stay red with ``REPRO_BENCH_STRICT=1``, and an
+unmarked flaky test must stay red regardless.
+"""
+
+import pytest
+
+pytest_plugins = ["pytester"]
+
+FLAKY_SUITE = """
+    import pytest
+
+    COUNTS = {"marked": 0, "plain": 0}
+
+    @pytest.mark.timing
+    def test_flaky_marked():
+        COUNTS["marked"] += 1
+        assert COUNTS["marked"] >= 2, "first attempt always fails"
+
+    def test_flaky_plain():
+        COUNTS["plain"] += 1
+        assert COUNTS["plain"] >= 2, "first attempt always fails"
+
+    @pytest.mark.timing
+    def test_steady():
+        assert True
+"""
+
+
+@pytest.fixture
+def timing_pytester(pytester, monkeypatch):
+    """A pytester session with the plugin active and strict mode unset."""
+    monkeypatch.delenv("REPRO_BENCH_STRICT", raising=False)
+    pytester.makepyfile(FLAKY_SUITE)
+    return pytester
+
+
+def test_marked_test_gets_one_rerun(timing_pytester):
+    result = timing_pytester.runpytest("-p", "repro.harness.pytest_timing", "-q")
+    # The marked flaky test recovers on its retry; the unmarked one does not.
+    result.assert_outcomes(passed=2, failed=1)
+
+
+def test_strict_mode_disables_reruns(timing_pytester, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_STRICT", "1")
+    result = timing_pytester.runpytest("-p", "repro.harness.pytest_timing", "-q")
+    result.assert_outcomes(passed=1, failed=2)
+
+
+def test_strict_mode_zero_means_off(timing_pytester, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_STRICT", "0")
+    result = timing_pytester.runpytest("-p", "repro.harness.pytest_timing", "-q")
+    result.assert_outcomes(passed=2, failed=1)
+
+
+def test_marker_is_registered(timing_pytester):
+    result = timing_pytester.runpytest("-p", "repro.harness.pytest_timing", "--markers")
+    result.stdout.fnmatch_lines(["*timing: wall-clock-gated test*"])
