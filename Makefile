@@ -3,31 +3,53 @@
 #   make test             - the tier-1 suite (see ROADMAP.md)
 #   make bench-smoke      - benchmark files with timing disabled (fast sanity)
 #   make bench            - full benchmark run with timings (strict: no
-#                           timing-gate reruns), then the BENCH_6.json
-#                           trajectory measurement
-#   make bench-trajectory - re-measure BENCH_6.json and diff events/sec
-#                           against the previous BENCH_*.json (warn-only)
+#                           timing-gate reruns), then a trajectory measurement
+#                           written to the next free BENCH_<n>.json
+#                           (BENCH_ARGS forwards extra bench_trajectory.py
+#                           flags, e.g. --out/--compare/--fail-on-regression)
+#   make bench-trajectory - re-measure and diff events/sec against the
+#                           previous BENCH_*.json (warn-only by default;
+#                           the nightly CI lane adds --fail-on-regression 25)
+#   make coverage         - tier-1 suite under pytest-cov with the measured
+#                           line-coverage floor (skips with a notice when
+#                           pytest-cov is absent; the CI coverage job runs it)
 #   make lint             - ruff check (skips with a notice when ruff is absent)
 #   make examples-smoke   - run the quickstart, adversary-tour, sharded-sweep
 #                           + work-stealing examples
 #   make linkcheck        - verify relative links in README.md / docs / READMEs
 
 PYTHON ?= python
+# Every entry point (pytest, scripts, examples) runs through PY_RUN so local
+# and CI invocations resolve the same src/ tree ahead of any installed copy.
+PY_RUN = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON)
+# Extra flags for scripts/bench_trajectory.py in `make bench`/`bench-trajectory`.
+BENCH_ARGS ?=
+# Line-coverage floor for `make coverage` (line coverage measured at 93%
+# when the gate was added; the floor sits below that to absorb drift).
+COV_FLOOR ?= 88
 
-.PHONY: test bench-smoke bench bench-trajectory lint examples-smoke linkcheck
+.PHONY: test bench-smoke bench bench-trajectory coverage lint examples-smoke linkcheck
 
 test:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -x -q
+	$(PY_RUN) -m pytest -x -q
 
 bench-smoke:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest benchmarks -q --benchmark-disable
+	$(PY_RUN) -m pytest benchmarks -q --benchmark-disable
 
 bench:
-	REPRO_BENCH_STRICT=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest benchmarks -q --benchmark-only
-	$(PYTHON) scripts/bench_trajectory.py
+	REPRO_BENCH_STRICT=1 $(PY_RUN) -m pytest benchmarks -q --benchmark-only
+	$(PY_RUN) scripts/bench_trajectory.py $(BENCH_ARGS)
 
 bench-trajectory:
-	$(PYTHON) scripts/bench_trajectory.py --compare
+	$(PY_RUN) scripts/bench_trajectory.py --compare $(BENCH_ARGS)
+
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PY_RUN) -m pytest -q --cov=repro --cov-report=term-missing:skip-covered \
+			--cov-report=html --cov-fail-under=$(COV_FLOOR); \
+	else \
+		echo "pytest-cov is not installed; skipping coverage (the CI coverage job runs it)"; \
+	fi
 
 lint:
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
@@ -39,10 +61,10 @@ lint:
 	fi
 
 examples-smoke:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) examples/quickstart.py
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) examples/adversary_tour.py
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) examples/sharded_sweep.py
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) examples/work_stealing.py
+	$(PY_RUN) examples/quickstart.py
+	$(PY_RUN) examples/adversary_tour.py
+	$(PY_RUN) examples/sharded_sweep.py
+	$(PY_RUN) examples/work_stealing.py
 
 linkcheck:
-	$(PYTHON) scripts/check_markdown_links.py
+	$(PY_RUN) scripts/check_markdown_links.py

@@ -10,10 +10,14 @@ benchmark::
 
 ``events/sec`` is simulator events processed per wall-clock second (the
 kernel's throughput unit; see ``docs/performance.md``) and ``wall`` the
-best-of wall-clock seconds of the benchmark.  With ``--compare`` the script
-also diffs events/sec against the previous ``BENCH_*.json`` in the repo
-root and warns (without failing) on regressions -- the trajectory gate is
-advisory for now.
+best-of wall-clock seconds of the benchmark.  The output name is derived:
+the next free ``BENCH_<n>.json`` in the repo root (override with ``--out``).
+With ``--compare`` the script also diffs events/sec against the
+highest-numbered previous ``BENCH_*.json``; the diff is warn-only unless
+``--fail-on-regression PCT`` arms it, in which case any benchmark that
+loses more than PCT percent of its event rate makes the script exit 1
+(the nightly CI lane runs with ``--fail-on-regression 25``; push/PR lanes
+stay warn-only -- see ``docs/performance.md``).
 """
 
 import argparse
@@ -31,10 +35,26 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-DEFAULT_OUT = REPO_ROOT / "BENCH_6.json"
-
 #: Warn when a benchmark loses more than this fraction of its event rate.
 REGRESSION_TOLERANCE = 0.10
+
+
+def _numbered_benches():
+    """All ``(n, path)`` pairs for ``BENCH_<n>.json`` files in the repo root."""
+    pairs = []
+    for path in glob.glob(str(REPO_ROOT / "BENCH_*.json")):
+        path = pathlib.Path(path)
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match:
+            pairs.append((int(match.group(1)), path))
+    return pairs
+
+
+def next_bench_path():
+    """The next free ``BENCH_<n>.json`` (one past the highest committed)."""
+    numbered = _numbered_benches()
+    next_index = max(n for n, _ in numbered) + 1 if numbered else 1
+    return REPO_ROOT / f"BENCH_{next_index}.json"
 
 
 def _timed(fn):
@@ -137,20 +157,24 @@ def measure(rounds):
 
 def previous_bench(out_path):
     """The highest-numbered ``BENCH_*.json`` in the repo root besides ``out``."""
-    candidates = []
-    for path in glob.glob(str(REPO_ROOT / "BENCH_*.json")):
-        path = pathlib.Path(path)
-        if path.resolve() == out_path.resolve():
-            continue
-        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
-        if match:
-            candidates.append((int(match.group(1)), path))
+    candidates = [
+        (n, path)
+        for n, path in _numbered_benches()
+        if path.resolve() != out_path.resolve()
+    ]
     return max(candidates)[1] if candidates else None
 
 
-def compare(current, previous_path):
-    """Warn (don't fail) on events/sec regressions vs a previous trajectory."""
+def compare(current, previous_path, fail_tolerance=None):
+    """Diff events/sec vs a previous trajectory; return the failing names.
+
+    Every drop beyond :data:`REGRESSION_TOLERANCE` is flagged as a warning.
+    ``fail_tolerance`` (a fraction, e.g. 0.25) arms the hard gate: the
+    returned list holds the benchmarks that regressed beyond it, for the
+    caller to turn into a non-zero exit.
+    """
     previous = json.loads(previous_path.read_text())
+    failures = []
     print(f"\ntrajectory vs {previous_path.name}:")
     for name, entry in sorted(current.items()):
         then = previous.get(name, {}).get("events/sec")
@@ -160,32 +184,63 @@ def compare(current, previous_path):
             continue
         change = (now - then) / then
         marker = ""
-        if change < -REGRESSION_TOLERANCE:
+        if fail_tolerance is not None and change < -fail_tolerance:
+            marker = "  <-- FAILURE: regression beyond the hard gate"
+            failures.append(name)
+        elif change < -REGRESSION_TOLERANCE:
             marker = "  <-- WARNING: regression"
         print(f"  {name}: {then:,.0f} -> {now:,.0f} events/sec ({change:+.1%}){marker}")
+    return failures
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT, help="trajectory file to write")
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="trajectory file to write (default: the next free BENCH_<n>.json)",
+    )
     parser.add_argument("--rounds", type=int, default=5, help="best-of rounds for the flood benchmark")
     parser.add_argument(
         "--compare",
         action="store_true",
-        help="diff events/sec against the previous BENCH_*.json (warn-only)",
+        help="diff events/sec against the previous BENCH_*.json",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="with --compare, exit 1 when any benchmark loses more than "
+        "PCT%% of its event rate (the nightly lane uses 25)",
     )
     args = parser.parse_args(argv)
+    if args.fail_on_regression is not None and not args.compare:
+        parser.error("--fail-on-regression requires --compare")
 
+    out_path = args.out if args.out is not None else next_bench_path()
     results = measure(args.rounds)
-    args.out.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")
-    print(f"\nwrote {args.out}")
+    out_path.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")
+    print(f"\nwrote {out_path}")
 
     if args.compare:
-        previous = previous_bench(args.out)
+        previous = previous_bench(out_path)
         if previous is None:
             print("no previous BENCH_*.json found; nothing to compare")
         else:
-            compare(results, previous)
+            tolerance = (
+                args.fail_on_regression / 100.0
+                if args.fail_on_regression is not None
+                else None
+            )
+            failures = compare(results, previous, fail_tolerance=tolerance)
+            if failures:
+                print(
+                    f"\n{len(failures)} benchmark(s) regressed beyond "
+                    f"{args.fail_on_regression:g}%: " + ", ".join(failures)
+                )
+                return 1
     return 0
 
 

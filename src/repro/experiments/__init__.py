@@ -16,6 +16,7 @@ from . import (
     e6_degenerate,
     e7_indulgence,
     e8_scalability,
+    e8l_large,
     e9_adversary,
 )
 from .common import ExperimentReport, default_seeds
@@ -29,6 +30,7 @@ ALL_EXPERIMENTS = {
     "E6": e6_degenerate,
     "E7": e7_indulgence,
     "E8": e8_scalability,
+    "E8L": e8l_large,
     "E9": e9_adversary,
 }
 
@@ -44,5 +46,6 @@ __all__ = [
     "e6_degenerate",
     "e7_indulgence",
     "e8_scalability",
+    "e8l_large",
     "e9_adversary",
 ]

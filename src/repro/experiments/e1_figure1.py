@@ -91,9 +91,12 @@ def run(
     seeds: Optional[Sequence[int]] = None,
     algorithms: Sequence[str] = ("hybrid-local-coin", "hybrid-common-coin"),
     max_workers: Optional[int] = None,
+    exec_mode: Optional[str] = None,
 ) -> ExperimentReport:
     """Run both hybrid algorithms on both Figure 1 decompositions."""
-    return run_planned(plan(seeds=seeds, algorithms=algorithms), build_report, max_workers)
+    return run_planned(
+        plan(seeds=seeds, algorithms=algorithms), build_report, max_workers, exec_mode
+    )
 
 
 def main() -> None:  # pragma: no cover - convenience entry point

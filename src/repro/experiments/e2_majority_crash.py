@@ -128,12 +128,14 @@ def run(
     sizes: Sequence[int] = (7, 11, 15),
     control_round_cap: int = 40,
     max_workers: Optional[int] = None,
+    exec_mode: Optional[str] = None,
 ) -> ExperimentReport:
     """Headline scenario for several ``n``; Ben-Or control with the same crash count."""
     return run_planned(
         plan(seeds=seeds, sizes=sizes, control_round_cap=control_round_cap),
         build_report,
         max_workers,
+        exec_mode,
     )
 
 

@@ -117,9 +117,12 @@ def run(
     m: int = 3,
     algorithms: Sequence[str] = ("hybrid-local-coin", "hybrid-common-coin"),
     max_workers: Optional[int] = None,
+    exec_mode: Optional[str] = None,
 ) -> ExperimentReport:
     """Compare failure-free runs with 'one survivor per cluster' runs."""
-    return run_planned(plan(seeds=seeds, n=n, m=m, algorithms=algorithms), build_report, max_workers)
+    return run_planned(
+        plan(seeds=seeds, n=n, m=m, algorithms=algorithms), build_report, max_workers, exec_mode
+    )
 
 
 def main() -> None:  # pragma: no cover

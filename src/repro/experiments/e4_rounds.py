@@ -101,12 +101,14 @@ def run(
     cluster_counts: Sequence[int] = (3,),
     proposals: Sequence[str] = ("unanimous-1", "split"),
     max_workers: Optional[int] = None,
+    exec_mode: Optional[str] = None,
 ) -> ExperimentReport:
     """Rounds-to-decide for both hybrid algorithms, by input pattern and size."""
     return run_planned(
         plan(seeds=seeds, sizes=sizes, cluster_counts=cluster_counts, proposals=proposals),
         build_report,
         max_workers,
+        exec_mode,
     )
 
 

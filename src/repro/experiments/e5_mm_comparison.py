@@ -122,10 +122,14 @@ def run(
     sizes: Sequence[int] = (8, 12),
     cluster_counts: Sequence[int] = (2, 4),
     max_workers: Optional[int] = None,
+    exec_mode: Optional[str] = None,
 ) -> ExperimentReport:
     """Hybrid vs m&m per-phase shared-memory cost on matched structures."""
     return run_planned(
-        plan(seeds=seeds, sizes=sizes, cluster_counts=cluster_counts), build_report, max_workers
+        plan(seeds=seeds, sizes=sizes, cluster_counts=cluster_counts),
+        build_report,
+        max_workers,
+        exec_mode,
     )
 
 

@@ -108,9 +108,10 @@ def run(
     seeds: Optional[Sequence[int]] = None,
     n: int = 7,
     max_workers: Optional[int] = None,
+    exec_mode: Optional[str] = None,
 ) -> ExperimentReport:
     """Compare degenerate hybrid configurations with the corresponding baselines."""
-    return run_planned(plan(seeds=seeds, n=n), build_report, max_workers)
+    return run_planned(plan(seeds=seeds, n=n), build_report, max_workers, exec_mode)
 
 
 def main() -> None:  # pragma: no cover

@@ -119,12 +119,14 @@ def run(
         "mp-common-coin",
     ),
     max_workers: Optional[int] = None,
+    exec_mode: Optional[str] = None,
 ) -> ExperimentReport:
     """Adversarial crash patterns that break the termination condition."""
     return run_planned(
         plan(seeds=seeds, n=n, m=m, round_cap=round_cap, algorithms=algorithms),
         build_report,
         max_workers,
+        exec_mode,
     )
 
 

@@ -1,0 +1,31 @@
+"""E8L — large-n scalability on cooperative multi-kernel execution.
+
+The driver facade for the large-n half of :mod:`~repro.experiments.e8_scalability`:
+the same sweep machinery pushed to n ∈ {256, 512, 1024, 2048}, the system
+sizes the cooperative execution mode (``--exec-mode coop``, see
+``docs/scaling.md``) exists for.  Exposes the standard driver surface
+(``plan`` / ``build_report`` / ``run`` / ``main``), so E8L shards, steals
+and merges through the CLI like every other experiment.
+"""
+
+from __future__ import annotations
+
+from .e8_scalability import (  # noqa: F401  (re-exported driver surface)
+    LARGE_MULTI_CLUSTER_MAX_N,
+    LARGE_PAPER_CLAIM,
+    LARGE_SIZES,
+    build_large_report as build_report,
+    plan_large as plan,
+    run_large as run,
+)
+
+PAPER_CLAIM = LARGE_PAPER_CLAIM
+
+
+def main() -> None:  # pragma: no cover
+    """Run the experiment with default parameters and print its report."""
+    print(run().format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -130,6 +130,7 @@ def run(
     round_cap: int = 30,
     algorithm: str = "hybrid-local-coin",
     max_workers: Optional[int] = None,
+    exec_mode: Optional[str] = None,
 ) -> ExperimentReport:
     """Safety and liveness-degradation curves under the fault-scenario library."""
     return run_planned(
@@ -144,6 +145,7 @@ def run(
         ),
         build_report,
         max_workers,
+        exec_mode,
     )
 
 

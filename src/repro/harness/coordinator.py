@@ -488,22 +488,39 @@ class PointTask:
     superseded: bool = False
 
 
-def execute_point(plan: SweepPlan, task: PointTask, max_workers: Optional[int]) -> List[RunSummary]:
+def execute_point(
+    plan: SweepPlan,
+    task: PointTask,
+    max_workers: Optional[int],
+    exec_mode: Optional[str] = None,
+) -> List[RunSummary]:
     """Run one claimed point's configurations and summarize them.
 
     Resolves ``run_many`` through the :mod:`~repro.harness.distributed`
     module at call time, preserving the long-standing test seam that
     monkeypatches ``distributed.run_many`` to simulate killed workers.
+    ``exec_mode`` picks the engine (see :func:`~repro.harness.parallel.run_many`)
+    and cannot change any summary — checkpoints merge bit-identically
+    whichever mode computed them.
     """
     point = plan.points[task.point_index]
     configs = [point.config.with_seed(plan.seeds[si]) for si in task.positions]
     reducer = SummaryReducer(entropy=plan.entropy, start=task.start, step=task.step)
     return distributed.run_many(
-        configs, max_workers=max_workers, check=point.check, reducer=reducer
+        configs,
+        max_workers=max_workers,
+        check=point.check,
+        reducer=reducer,
+        exec_mode=exec_mode,
     )
 
 
-def drive_claims(plan: SweepPlan, scheduler: Any, max_workers: Optional[int] = None) -> Any:
+def drive_claims(
+    plan: SweepPlan,
+    scheduler: Any,
+    max_workers: Optional[int] = None,
+    exec_mode: Optional[str] = None,
+) -> Any:
     """Run a scheduler's claim loop to completion and return its result.
 
     The one loop both schedulers share: ask the scheduler for claimed
@@ -512,10 +529,10 @@ def drive_claims(plan: SweepPlan, scheduler: Any, max_workers: Optional[int] = N
     for checkpointing.  Static sharding is the degenerate case where every
     claim succeeds and nothing is ever stolen.
     """
-    with worker_pool(max_workers):
+    with worker_pool(max_workers if exec_mode != "coop" else 1):
         for task in scheduler.claims():
             with scheduler.hold(task):
-                summaries = execute_point(plan, task, max_workers)
+                summaries = execute_point(plan, task, max_workers, exec_mode=exec_mode)
             scheduler.complete(task, summaries)
     return scheduler.finish()
 
@@ -912,6 +929,7 @@ def run_work_stealing(
     lease_ttl: float = DEFAULT_LEASE_TTL,
     max_workers: Optional[int] = None,
     max_points: Optional[int] = None,
+    exec_mode: Optional[str] = None,
 ) -> StealRunResult:
     """Execute ``plan`` as one work-stealing worker over ``out_dir``.
 
@@ -927,7 +945,7 @@ def run_work_stealing(
     scheduler = WorkStealingScheduler(
         plan, Path(out_dir), worker=worker, lease_ttl=lease_ttl, max_points=max_points
     )
-    return drive_claims(plan, scheduler, max_workers)
+    return drive_claims(plan, scheduler, max_workers, exec_mode=exec_mode)
 
 
 # ------------------------------------------------------------------ status

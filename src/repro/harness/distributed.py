@@ -314,7 +314,9 @@ def plan_grid(
 
 # ---------------------------------------------------------- local execution
 def run_plan(
-    plan: SweepPlan, max_workers: Optional[int] = None
+    plan: SweepPlan,
+    max_workers: Optional[int] = None,
+    exec_mode: Optional[str] = None,
 ) -> Dict[str, RunAggregate]:
     """Execute the whole plan on this host, one aggregate per point label.
 
@@ -322,16 +324,25 @@ def run_plan(
     for a ``per-point`` plan this is bit-identical to calling
     :func:`~repro.harness.sweep.repeat` per point, for a ``global`` plan to
     the corresponding :func:`~repro.harness.sweep.sweep`/:func:`grid` call.
+
+    ``exec_mode`` selects the per-point engine (process pool vs cooperative
+    multi-kernel hosting; see :func:`~repro.harness.parallel.run_many`) and
+    never changes any aggregate — only how fast they arrive.  The shared
+    worker pool is only warmed up when a point can actually use it.
     """
     aggregates: Dict[str, RunAggregate] = {}
-    with worker_pool(max_workers):
+    with worker_pool(max_workers if exec_mode != "coop" else 1):
         for point_index, point in enumerate(plan.points):
             configs = [point.config.with_seed(seed) for seed in plan.seeds]
             reducer = SummaryReducer(
                 entropy=plan.entropy, start=plan.run_index(point_index, 0), step=1
             )
             summaries = run_many(
-                configs, max_workers=max_workers, check=point.check, reducer=reducer
+                configs,
+                max_workers=max_workers,
+                check=point.check,
+                reducer=reducer,
+                exec_mode=exec_mode,
             )
             aggregates[point.label] = RunAggregate.from_summaries(
                 summaries, capacity=plan.capacity
@@ -460,6 +471,7 @@ def run_shard(
     shard: ShardSpec,
     out_dir: Union[str, Path],
     max_workers: Optional[int] = None,
+    exec_mode: Optional[str] = None,
 ) -> ShardRunResult:
     """Execute this shard's slice of the plan, checkpointing per sweep point.
 
@@ -478,7 +490,7 @@ def run_shard(
     from .coordinator import StaticShardScheduler, drive_claims
 
     scheduler = StaticShardScheduler(plan, shard, Path(out_dir))
-    return drive_claims(plan, scheduler, max_workers)
+    return drive_claims(plan, scheduler, max_workers, exec_mode=exec_mode)
 
 
 # ----------------------------------------------------------------- merging

@@ -6,6 +6,20 @@ independent, fully seeded :func:`~repro.harness.runner.run_consensus` call.
 keeping the result list in input order, so a parallel sweep is
 *bit-identical* to the serial one — only faster.
 
+Execution modes (``exec_mode``, or the ``REPRO_EXEC_MODE`` environment
+variable):
+
+* ``"process"`` (default) — the process pool described above;
+* ``"coop"`` — host every run in **one** process as cooperatively
+  interleaved kernels (:mod:`repro.sim.multikernel`): no pickling, no
+  worker start-up, and the whole batch shares one warm interpreter.  Runs
+  share no RNG state (each owns a seeded
+  :class:`~repro.sim.rng.RandomSource`), so results stay bit-identical to
+  the serial and pool paths, whatever the interleaving;
+* ``"auto"`` — ``coop`` when only one worker is usable or the batch
+  contains very large systems (n ≥ :data:`COOP_AUTO_THRESHOLD`, where
+  per-run footprints dwarf pool overheads), else ``process``.
+
 Fallbacks keep the engine safe to use unconditionally:
 
 * ``max_workers=1`` (or a single configuration) runs serially in-process;
@@ -28,13 +42,26 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from typing import Any, Iterable, Iterator, List, Optional, Sequence
+from time import perf_counter
+from typing import Any, Generator, Iterable, Iterator, List, Optional, Sequence
 
+from ..sim.multikernel import DEFAULT_BATCH_EVENTS, CooperativeScheduler
 from .aggregate import Reducer
-from .runner import ExperimentConfig, RunResult, run_consensus
+from .runner import ExperimentConfig, RunResult, prepare_consensus, run_consensus
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV_VAR = "REPRO_MAX_WORKERS"
+
+#: Environment variable overriding the default execution mode.
+EXEC_MODE_ENV_VAR = "REPRO_EXEC_MODE"
+
+#: The execution modes :func:`run_many` understands.
+EXEC_MODES = ("process", "coop", "auto")
+
+#: ``auto`` switches to cooperative hosting at this system size: event
+#: counts (and run memory) grow superlinearly in n, so above it the pool's
+#: per-task pickling and worker start-up stop paying for themselves.
+COOP_AUTO_THRESHOLD = 512
 
 
 def _cgroup_cpu_quota() -> Optional[int]:
@@ -92,6 +119,45 @@ def resolve_workers(max_workers: Optional[int], task_count: int) -> int:
     if workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {workers}")
     return min(workers, task_count)
+
+
+def default_exec_mode() -> str:
+    """The default execution mode (``REPRO_EXEC_MODE`` override, else process)."""
+    override = os.environ.get(EXEC_MODE_ENV_VAR, "").strip().lower()
+    if override:
+        if override not in EXEC_MODES:
+            warnings.warn(
+                f"ignoring {EXEC_MODE_ENV_VAR}={override!r}: choose from {EXEC_MODES}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        else:
+            return override
+    return "process"
+
+
+def resolve_exec_mode(
+    exec_mode: Optional[str],
+    configs: Sequence[ExperimentConfig],
+    workers: int,
+) -> str:
+    """Resolve the requested mode to ``"process"`` or ``"coop"``.
+
+    Precedence: explicit argument, then the ``REPRO_EXEC_MODE`` environment
+    variable, then ``"process"``.  ``"auto"`` picks ``coop`` when only one
+    worker is usable (cooperative hosting beats serial by keeping one warm
+    interpreter and costs nothing extra) or when the batch contains a system
+    of n ≥ :data:`COOP_AUTO_THRESHOLD`.
+    """
+    mode = exec_mode if exec_mode is not None else default_exec_mode()
+    if mode not in EXEC_MODES:
+        raise ValueError(f"unknown exec_mode {mode!r}; choose from {EXEC_MODES}")
+    if mode != "auto":
+        return mode
+    if workers <= 1:
+        return "coop"
+    largest = max((config.topology.n for config in configs), default=0)
+    return "coop" if largest >= COOP_AUTO_THRESHOLD else "process"
 
 
 def default_chunksize(task_count: int, workers: Optional[int] = None) -> int:
@@ -184,6 +250,59 @@ def _run_serial(
     return results
 
 
+def _drive_coop(
+    config: ExperimentConfig,
+    index: int,
+    check: bool,
+    reducer: Optional[Reducer],
+    batch_events: int,
+) -> Generator[None, None, Any]:
+    """Driver generator for one run on the cooperative scheduler.
+
+    Lazily prepares the run on its first turn (so only the scheduler's
+    in-flight slots hold live kernels), advances the kernel one event batch
+    per turn, and finalizes exactly like the serial path: check as the run
+    finishes, reduce in place of shipping the full result.  Only the
+    kernel-stepping time enters ``wall`` — the same region the serial path
+    times (and the one metric deliberately excluded from summaries).
+    """
+    prepared = prepare_consensus(config)
+    kernel_batch = prepared.kernel.run_batch
+    wall = 0.0
+    while True:
+        started = perf_counter()
+        sim_result = kernel_batch(batch_events)
+        wall += perf_counter() - started
+        if sim_result is not None:
+            break
+        yield
+    result = prepared.finalize(sim_result, wall)
+    if check:
+        result.report.raise_on_violation()
+    return result if reducer is None else reducer(result, index)
+
+
+def _run_coop(
+    configs: Sequence[ExperimentConfig],
+    width: int,
+    check: bool,
+    reducer: Optional[Reducer] = None,
+    batch_events: int = DEFAULT_BATCH_EVENTS,
+) -> List[Any]:
+    """Cooperative path: interleave all runs as co-hosted kernels.
+
+    ``width`` caps how many kernels are live at once (the cooperative
+    analogue of the pool's worker count); results come back in input order
+    and bit-identical to the serial path — co-hosted runs share no RNG
+    state, so the interleaving cannot change any draw.
+    """
+    drivers = [
+        _drive_coop(config, index, check, reducer, batch_events)
+        for index, config in enumerate(configs)
+    ]
+    return CooperativeScheduler(width=width).run(drivers)
+
+
 def _should_fall_back(error: BaseException) -> bool:
     """Whether a pool error is a pickling/transport problem, not a task bug.
 
@@ -252,6 +371,7 @@ def run_many(
     check: bool = False,
     reducer: Optional[Reducer] = None,
     chunksize: Optional[int] = None,
+    exec_mode: Optional[str] = None,
 ) -> List[Any]:
     """Run every configuration, in parallel when it pays, in input order.
 
@@ -268,13 +388,21 @@ def run_many(
     in input order, and property checks happen inside the workers.
     ``chunksize`` overrides the :func:`default_chunksize` heuristic for
     batching task submission.
+
+    ``exec_mode`` (``"process"``, ``"coop"`` or ``"auto"``; default from
+    ``REPRO_EXEC_MODE``, else process) selects the engine — see the module
+    docstring.  In coop mode ``max_workers`` caps how many kernels are
+    co-hosted at once instead of spawning anything.
     """
     configs = list(configs)
     if max_workers is None and _shared_pool is not None:
         workers = _shared_pool_workers
     else:
         workers = resolve_workers(max_workers, len(configs))
-    if workers > 1 and len(configs) > 1:
+    mode = resolve_exec_mode(exec_mode, configs, workers)
+    if mode == "coop" and len(configs) > 1:
+        return _run_coop(configs, workers, check=check, reducer=reducer)
+    if mode != "coop" and workers > 1 and len(configs) > 1:
         results = _run_pool(configs, workers, reducer=reducer, check=check, chunksize=chunksize)
         if results is not None:
             if check and reducer is None:

@@ -172,12 +172,61 @@ def _build_algorithm(
     raise ValueError(f"unknown algorithm {config.algorithm!r}")  # pragma: no cover
 
 
-def run_consensus(
+@dataclass
+class PreparedRun:
+    """A fully wired consensus run whose kernel has not been stepped yet.
+
+    The seam the cooperative multi-kernel host needs: *build* (network,
+    memories, coins, processes, failure pattern, adversary) is split from
+    *execute* so the host can drive :meth:`~repro.sim.kernel.SimulationKernel.run_batch`
+    itself, then hand the terminal result to :meth:`finalize` for the same
+    metrics collection and property verification the serial path performs.
+    ``prepare -> kernel.run() -> finalize`` is exactly :func:`run_consensus`.
+    """
+
+    config: ExperimentConfig
+    kernel: SimulationKernel
+    network: Network
+    proposals: Dict[int, int]
+    memories: List[ClusterSharedMemory]
+
+    def finalize(self, sim_result: SimulationResult, wall_time_seconds: float) -> RunResult:
+        """Collect metrics and verify properties for a finished kernel run."""
+        config = self.config
+        topology = config.topology
+        metrics = collect_metrics(
+            algorithm=config.algorithm,
+            seed=config.seed,
+            topology=topology,
+            result=sim_result,
+            network=self.network,
+            memories=self.memories,
+            wall_time_seconds=wall_time_seconds,
+            delay_model=config.delay_model.describe(),
+            scenario=config.scenario.name if config.scenario is not None else "none",
+        )
+        expected = termination_expected(
+            config.algorithm, topology, config.failure_pattern, config.scenario
+        )
+        report = verify_run(
+            sim_result, self.proposals, topology, termination_expected=expected
+        )
+        return RunResult(
+            config=config,
+            proposals=self.proposals,
+            sim_result=sim_result,
+            metrics=metrics,
+            report=report,
+            memories=self.memories,
+        )
+
+
+def prepare_consensus(
     config: ExperimentConfig,
     local_coin_factory: Optional[Callable[[int], LocalCoin]] = None,
     common_coin: Optional[CommonCoin] = None,
-) -> RunResult:
-    """Run one consensus instance end to end and verify its properties.
+) -> PreparedRun:
+    """Build one consensus run -- substrates, coins, processes -- without running it.
 
     ``local_coin_factory`` / ``common_coin`` override the seeded default
     coins -- the hook the adversarial-coin robustness tests use to hand the
@@ -231,38 +280,38 @@ def run_consensus(
     if config.scenario is not None:
         kernel.install_adversary(Adversary(config.scenario, rng.stream("adversary")))
 
-    started = _time.perf_counter()
-    sim_result = kernel.run()
-    wall = _time.perf_counter() - started
-
     all_memories: List[ClusterSharedMemory] = list(memories)
     if mm_memories:
         all_memories.extend(mm_memories.values())
 
-    metrics = collect_metrics(
-        algorithm=config.algorithm,
-        seed=config.seed,
-        topology=topology,
-        result=sim_result,
-        network=network,
-        memories=all_memories,
-        wall_time_seconds=wall,
-        delay_model=config.delay_model.describe(),
-        scenario=config.scenario.name if config.scenario is not None else "none",
-    )
-    expected = termination_expected(
-        config.algorithm, topology, config.failure_pattern, config.scenario
-    )
-    report = verify_run(sim_result, proposals, topology, termination_expected=expected)
-
-    return RunResult(
+    return PreparedRun(
         config=config,
+        kernel=kernel,
+        network=network,
         proposals=proposals,
-        sim_result=sim_result,
-        metrics=metrics,
-        report=report,
         memories=all_memories,
     )
+
+
+def run_consensus(
+    config: ExperimentConfig,
+    local_coin_factory: Optional[Callable[[int], LocalCoin]] = None,
+    common_coin: Optional[CommonCoin] = None,
+) -> RunResult:
+    """Run one consensus instance end to end and verify its properties.
+
+    ``prepare -> run -> finalize`` over :func:`prepare_consensus`; only the
+    wall-clock measurement (deliberately excluded from summaries, being the
+    one nondeterministic metric) lives here.  See :func:`prepare_consensus`
+    for the coin-override knobs.
+    """
+    prepared = prepare_consensus(
+        config, local_coin_factory=local_coin_factory, common_coin=common_coin
+    )
+    started = _time.perf_counter()
+    sim_result = prepared.kernel.run()
+    wall = _time.perf_counter() - started
+    return prepared.finalize(sim_result, wall)
 
 
 def run_seeds(

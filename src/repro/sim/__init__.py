@@ -18,11 +18,20 @@ from .context import (
 )
 from .events import MessageDelivery, ProcessCrash, ProcessStart, ScheduledEvent, StepResume
 from .kernel import RunStatus, SimConfig, SimulationKernel, SimulationResult
+from .multikernel import (
+    DEFAULT_BATCH_EVENTS,
+    CooperativeScheduler,
+    kernel_stepper,
+    run_cooperative,
+    scheduler_rng,
+)
 from .process import ProcessState, SimProcess
 from .rng import RandomSource
 from .trace import Trace
 
 __all__ = [
+    "CooperativeScheduler",
+    "DEFAULT_BATCH_EVENTS",
     "Effect",
     "LocalEffect",
     "MessageDelivery",
@@ -44,4 +53,7 @@ __all__ = [
     "StepResume",
     "Trace",
     "WaitEffect",
+    "kernel_stepper",
+    "run_cooperative",
+    "scheduler_rng",
 ]

@@ -279,6 +279,28 @@ class SimulationKernel:
     def run(self) -> SimulationResult:
         """Process events until completion, quiescence or the time bound.
 
+        Equivalent to :meth:`run_batch` with an unlimited budget; the batch
+        form exists so a cooperative host (:mod:`repro.sim.multikernel`) can
+        interleave several kernels in one process.  Running a kernel through
+        any sequence of ``run_batch`` calls is bit-identical to one ``run``
+        call: the budget only decides *when* control returns, never what the
+        kernel does with the next event.
+        """
+        result = self.run_batch(-1)
+        if result is None:  # pragma: no cover - unlimited budgets always finish
+            raise AssertionError("unbounded run_batch returned no result")
+        return result
+
+    def run_batch(self, max_events: int = -1) -> Optional[SimulationResult]:
+        """Process at most ``max_events`` events; ``-1`` means no budget.
+
+        Returns the :class:`SimulationResult` when the run reached a terminal
+        state (every process settled, quiescence, or the time bound), or
+        ``None`` when the budget ran out with work still queued -- call again
+        to continue exactly where the previous batch stopped.  Deferred
+        (adversary-postponed) events do not count against the budget; only
+        dispatched events do, matching :attr:`events_processed`.
+
         The two majority event kinds -- message deliveries and step resumes
         (including the resume's send/wait effect handling) -- are inlined
         into the loop body so the whole hot chain runs on loop-hoisted
@@ -288,8 +310,11 @@ class SimulationKernel:
         bit-identical to the out-of-line handlers (the golden tests compare
         full e1-e9 summaries against a pre-refactor fixture).
         """
+        if max_events == 0 or max_events < -1:
+            raise ValueError(f"max_events must be positive or -1, got {max_events}")
         if not self._processes:
             raise RuntimeError("no processes registered")
+        budget = max_events
         queue = self._queue
         trace = self.trace
         # Hoisted once per run: tracing cannot be toggled mid-run (and
@@ -317,6 +342,11 @@ class SimulationKernel:
         processed = 0
         try:
             while queue:
+                if processed == budget:
+                    # Budget spent with work still queued: hand control back
+                    # to the cooperative host (the ``finally`` flushes the
+                    # counter); the next call resumes on the same queue.
+                    return None
                 time, sequence, kind, pid, payload = heappop(queue)
                 if time > max_time:
                     self.now = max_time

@@ -40,7 +40,8 @@ def test_experiment_report_helpers():
 
 
 def test_registry_contains_all_nine_experiments():
-    assert sorted(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 10)]
+    # The nine paper experiments plus the large-n extension driver (E8L).
+    assert sorted(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 9)] + ["E8L", "E9"]
     for module in ALL_EXPERIMENTS.values():
         assert hasattr(module, "run") and hasattr(module, "main")
         assert isinstance(module.PAPER_CLAIM, str) and module.PAPER_CLAIM
