@@ -16,6 +16,8 @@
 #   make lint             - ruff check (skips with a notice when ruff is absent)
 #   make examples-smoke   - run the quickstart, adversary-tour, sharded-sweep
 #                           + work-stealing examples
+#   make search-smoke     - bounded schedule search over every algorithm
+#                           (exits nonzero with a replay token on violation)
 #   make linkcheck        - verify relative links in README.md / docs / READMEs
 
 PYTHON ?= python
@@ -28,7 +30,10 @@ BENCH_ARGS ?=
 # when the gate was added; the floor sits below that to absorb drift).
 COV_FLOOR ?= 88
 
-.PHONY: test bench-smoke bench bench-trajectory coverage lint examples-smoke linkcheck
+.PHONY: test bench-smoke bench bench-trajectory coverage lint examples-smoke search-smoke linkcheck
+# Knobs for `make search-smoke` (see docs/adversary.md).
+SEARCH_BUDGET ?= 200
+SEARCH_TIME ?= 60
 
 test:
 	$(PY_RUN) -m pytest -x -q
@@ -65,6 +70,9 @@ examples-smoke:
 	$(PY_RUN) examples/adversary_tour.py
 	$(PY_RUN) examples/sharded_sweep.py
 	$(PY_RUN) examples/work_stealing.py
+
+search-smoke:
+	$(PY_RUN) -m repro search --algorithm all --budget $(SEARCH_BUDGET) --time-budget $(SEARCH_TIME)
 
 linkcheck:
 	$(PY_RUN) scripts/check_markdown_links.py

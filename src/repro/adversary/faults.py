@@ -16,15 +16,19 @@ identical faults.
 
 Self-addressed messages are never faulted: a process's channel to itself is
 local, and the paper's ``broadcast`` macro relies on a process hearing its
-own value.  Likewise none of the primitives can forge or corrupt a payload
--- this is a crash/omission/timing adversary, not a Byzantine one.
+own value.  The crash/omission/timing primitives cannot forge a payload;
+the one deliberate exception is :class:`MessageCorruption`, which models a
+Byzantine channel -- together with the receiver-side authentication model
+(see :class:`TamperedPayload`) that decides whether a mutation is dropped
+like an omission or actually believed.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 #: The two partition semantics (see :class:`PartitionWindow`).
 PARTITION_MODES = ("heal", "drop")
@@ -321,12 +325,96 @@ class CrashRecovery:
         return True
 
 
+@dataclass(frozen=True)
+class TamperedPayload:
+    """A corrupted payload whose authentication no longer verifies.
+
+    When an *authenticated* :class:`MessageCorruption` mutates a message,
+    the mutation is delivered wrapped in this marker: the receiver's
+    message-scanning code (see :func:`repro.core.pattern.scan_mailbox`)
+    models signature verification by discarding it, turning the corruption
+    into an omission-like fault.  Unauthenticated corruption delivers the
+    bare mutated payload instead -- genuine Byzantine behaviour.
+    """
+
+    original: Any
+    mutated: Any
+
+
+def mutate_payload(payload: Any) -> Any:
+    """The adversary's payload mutation: flip the binary content.
+
+    Duck-typed over the algorithm payloads: a dataclass carrying a binary
+    ``est`` (phase messages) or ``value`` (decide messages) comes back with
+    that bit flipped.  Payloads with nothing to flip (``⊥`` estimates,
+    non-dataclass payloads) are returned unchanged, and the corruption is
+    then a no-op rather than a counted fault.
+    """
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        for name in ("est", "value"):
+            if hasattr(payload, name):
+                bit = getattr(payload, name)
+                if bit in (0, 1):
+                    return dataclasses.replace(payload, **{name: 1 - bit})
+    return payload
+
+
+@dataclass(frozen=True)
+class MessageCorruption(LinkFault):
+    """Mutate each matching message's payload with ``probability``.
+
+    The Byzantine channel primitive: a corrupted message transits normally
+    but carries :func:`mutate_payload`'s flipped content.  With
+    ``authenticated`` (the default) the receiver detects the tampering and
+    drops the message -- the paper's authenticated-channel assumption, under
+    which corruption degrades to omission and safety must survive.  With
+    ``authenticated=False`` the mutation is believed, which genuinely breaks
+    the model (tests use it to show authentication is load-bearing).
+    """
+
+    authenticated: bool = True
+
+    @property
+    def liveness_preserving(self) -> bool:
+        """Corruption can lose (authenticated) or poison (forged) messages.
+
+        An authenticated mutation is dropped by the receiver, so it starves
+        waits exactly like an omission; a forged one can derail the protocol
+        outright.  Either way, any positive probability voids the
+        termination guarantee.
+        """
+        return self.probability == 0.0
+
+
 #: The primitive types a :class:`~repro.adversary.scenario.Scenario` accepts.
+#: Extended (never shrunk) by :func:`register_fault_type`; modules must read
+#: it through the ``faults`` module at validation time, not import the tuple
+#: by value, so later registrations (the adaptive primitives) are honoured.
 FAULT_TYPES = (
     MessageOmission,
     MessageDuplication,
     MessageReordering,
+    MessageCorruption,
     PartitionWindow,
     ProcessSlowdown,
     CrashRecovery,
 )
+
+
+def register_fault_type(fault_type: type) -> None:
+    """Admit ``fault_type`` into :data:`FAULT_TYPES` (idempotent).
+
+    The extension seam for fault primitives defined outside this module
+    (the adaptive strategies in :mod:`repro.adversary.adaptive`): a
+    registered type passes :class:`~repro.adversary.scenario.Scenario`
+    validation, and the runtime engine chosen by
+    :func:`~repro.adversary.adaptive.build_adversary` must know how to
+    bucket it.  Requirements match the built-ins: frozen dataclasses of
+    plain values with ``liveness_preserving`` and (when pids are named)
+    ``touched_pids``.
+    """
+    global FAULT_TYPES
+    if not isinstance(fault_type, type):
+        raise TypeError(f"fault types are classes, got {fault_type!r}")
+    if fault_type not in FAULT_TYPES:
+        FAULT_TYPES = FAULT_TYPES + (fault_type,)

@@ -34,15 +34,18 @@ from ..sim.events import (
     ProcessStart,
     StepResume,
 )
+from . import faults as _faults
 from .faults import (
-    FAULT_TYPES,
     CrashRecovery,
+    MessageCorruption,
     MessageDuplication,
     MessageOmission,
     MessageReordering,
     PartitionWindow,
     ProcessSlowdown,
+    TamperedPayload,
     check_outages_disjoint,
+    mutate_payload,
 )
 
 
@@ -63,11 +66,14 @@ class Scenario:
         if not self.name or not isinstance(self.name, str):
             raise ValueError(f"scenario name must be a non-empty string, got {self.name!r}")
         faults = tuple(self.faults)
+        # Read FAULT_TYPES through the module so primitives registered after
+        # this module was imported (register_fault_type) are accepted too.
+        known_types = _faults.FAULT_TYPES
         for fault in faults:
-            if not isinstance(fault, FAULT_TYPES):
+            if not isinstance(fault, known_types):
                 raise ValueError(
                     f"unknown fault primitive {fault!r}; scenarios compose "
-                    f"{sorted(t.__name__ for t in FAULT_TYPES)}"
+                    f"{sorted(t.__name__ for t in known_types)}"
                 )
         # Each CrashRecovery schedule validates itself; overlapping outages
         # *across* schedules would be just as silently mis-handled by the
@@ -126,6 +132,7 @@ class Adversary:
         self._omissions: List[MessageOmission] = []
         self._duplications: List[MessageDuplication] = []
         self._reorderings: List[MessageReordering] = []
+        self._corruptions: List[MessageCorruption] = []
         self._partitions: List[PartitionWindow] = []
         self._slowdowns: List[ProcessSlowdown] = []
         self._crash_recoveries: List[CrashRecovery] = []
@@ -134,6 +141,7 @@ class Adversary:
             MessageOmission: self._omissions,
             MessageDuplication: self._duplications,
             MessageReordering: self._reorderings,
+            MessageCorruption: self._corruptions,
             PartitionWindow: self._partitions,
             ProcessSlowdown: self._slowdowns,
             CrashRecovery: self._crash_recoveries,
@@ -141,14 +149,29 @@ class Adversary:
         for fault in scenario.faults:
             # Walk the MRO so user subclasses of the primitives (accepted by
             # Scenario's isinstance validation) land in their base's bucket,
-            # mirroring how the kernel dispatches event subclasses.
+            # mirroring how the kernel dispatches event subclasses.  The
+            # MessageCorruption check must precede the LinkFault walk because
+            # corruption subclasses LinkFault but needs its own bucket --
+            # which the exact-class-first MRO walk already guarantees.
             bucket = next(
                 (buckets[base] for base in type(fault).__mro__ if base in buckets), None
             )
-            if bucket is None:  # pragma: no cover - Scenario validation rejects these
+            if bucket is not None:
+                bucket.append(fault)
+            elif not self._bucket_extra(fault):
                 raise ValueError(f"no adversary handling for fault {fault!r}")
-            bucket.append(fault)
         self._defers_events = bool(self._slowdowns)
+        #: Whether the kernel needs to consult :meth:`corrupt` per send.
+        self.corrupts = bool(self._corruptions)
+
+    def _bucket_extra(self, fault) -> bool:
+        """Claim a fault primitive no base bucket handles (subclass seam).
+
+        :class:`~repro.adversary.adaptive.AdaptiveAdversary` overrides this
+        to take ownership of the adaptive strategy primitives; the base
+        engine handles only the declarative ones and returns ``False``.
+        """
+        return False
 
     # ------------------------------------------------------------ installation
     def install(self, kernel) -> None:
@@ -209,6 +232,31 @@ class Adversary:
                     for _ in range(duplication.copies)
                 )
         return tuple(delays)
+
+    # ----------------------------------------------------- payload corruption
+    def corrupt(self, sender: int, dest: int, payload, now: float):
+        """The (possibly tampered) payload one ``sender -> dest`` send carries.
+
+        Consulted by the kernel only when the scenario holds
+        :class:`~repro.adversary.faults.MessageCorruption` faults (the
+        :attr:`corrupts` flag), *after* :meth:`deliveries` ruled the send is
+        delivered at all -- so scenarios without corruption draw exactly the
+        random sequence they always did.  An authenticated mutation comes
+        back wrapped in :class:`~repro.adversary.faults.TamperedPayload`
+        (the receiver will drop it); an unauthenticated one comes back bare.
+        Self-addressed messages are never corrupted.
+        """
+        if sender == dest:
+            return payload
+        for corruption in self._corruptions:
+            if corruption.applies(sender, dest, now) and self._rng.random() < corruption.probability:
+                mutated = mutate_payload(payload)
+                if mutated is payload:
+                    return payload
+                if corruption.authenticated:
+                    return TamperedPayload(original=payload, mutated=mutated)
+                return mutated
+        return payload
 
     #: Event types a slowdown may postpone: the process's own steps and its
     #: deliveries.  Control events (crash, pause, recover) must never be

@@ -31,6 +31,7 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
+from .adversary.adaptive import adaptive_scenario_names
 from .adversary.library import scenario_names
 from .experiments import ALL_EXPERIMENTS
 from .experiments.common import default_seeds, run_planned
@@ -85,7 +86,7 @@ def _build_plan(
         elif require_scenarios:
             raise ShardError(
                 f"experiment {experiment!r} does not take --scenario "
-                f"(only e9 sweeps fault scenarios)"
+                f"(only e9 and e10 sweep fault scenarios)"
             )
     return module, module.plan(**kwargs)
 
@@ -106,10 +107,17 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     scenarios = None
     if args.scenario is not None:
-        if args.scenario not in scenario_names():
+        # e10 sweeps the adaptive registry, every other scenario-aware
+        # experiment (e9) the declarative library.
+        known = (
+            adaptive_scenario_names()
+            if args.experiment.upper() == "E10"
+            else scenario_names()
+        )
+        if args.scenario not in known:
             raise ShardError(
-                f"unknown scenario {args.scenario!r}; choose from: "
-                + ", ".join(scenario_names())
+                f"unknown scenario {args.scenario!r} for {args.experiment}; "
+                "choose from: " + ", ".join(known)
             )
         scenarios = (args.scenario,)
     module, plan = _build_plan(args.experiment, args.seeds, scenarios=scenarios)
@@ -177,6 +185,59 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     print(report.format())
     return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from .harness.runner import ALGORITHMS
+    from .search import SearchSpec, replay_token, search
+
+    if args.replay is not None:
+        try:
+            result = replay_token(args.replay)
+        except ValueError as error:
+            # Malformed tokens (and unknown algorithms inside them) follow
+            # the CLI's error convention instead of escaping as tracebacks.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if result.violation is not None:
+            print(f"VIOLATION reproduced by {args.replay}")
+            print(f"  {result.violation}")
+            return 1
+        print(f"schedule {args.replay} ran clean (no safety violation)")
+        return 0
+    if args.algorithm == "all":
+        algorithms = list(ALGORITHMS)
+    else:
+        algorithms = [args.algorithm]
+    per_algorithm = (
+        None if args.time_budget is None else args.time_budget / max(1, len(algorithms))
+    )
+    exit_code = 0
+    for algorithm in algorithms:
+        try:
+            spec = SearchSpec(algorithm=algorithm, n=args.n, seed=args.seed)
+            outcome = search(
+                spec,
+                budget=args.budget,
+                fanout_cap=args.fanout,
+                max_decisions=args.max_decisions,
+                wall_budget=per_algorithm,
+            )
+        except ValueError as error:
+            # Unknown algorithms and out-of-range bounds follow the CLI's
+            # error convention instead of escaping as tracebacks.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if outcome.found:
+            exit_code = 1
+            print(f"{algorithm}: VIOLATION after {outcome.runs} schedules")
+            print(f"  {outcome.violation}")
+            print(f"  replay token: {outcome.token}")
+            print(f"  reproduce:    python -m repro search --replay '{outcome.token}'")
+        else:
+            state = "space exhausted" if outcome.exhausted else "budget spent"
+            print(f"{algorithm}: no violation in {outcome.runs} schedules ({state})")
+    return exit_code
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
@@ -259,7 +320,8 @@ def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Run, shard, resume and merge the experiments E1-E9.",
+        description="Run, shard, resume and merge the experiments E1-E10, "
+        "or search the schedule space for safety violations.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -321,6 +383,46 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_EXEC_MODE, else process)",
     )
     run_parser.set_defaults(func=_cmd_run)
+
+    search_parser = commands.add_parser(
+        "search",
+        help="bounded schedule-space search: permute same-timestamp dispatch orders "
+        "hunting safety violations; exits 1 with a replay token when one is found",
+    )
+    search_parser.add_argument(
+        "--algorithm", default="all", metavar="NAME",
+        help="algorithm to search ('all' = every harness algorithm; "
+        "'planted-ben-or' targets the deliberately broken fixture)",
+    )
+    search_parser.add_argument(
+        "--budget", type=int, default=200, metavar="N",
+        help="maximum schedules to execute per algorithm (default 200)",
+    )
+    search_parser.add_argument(
+        "--n", type=int, default=4, metavar="N",
+        help="system size (default 4; small n keeps the schedule space tight)",
+    )
+    search_parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="master seed fixing proposals and coin flips (default 0)",
+    )
+    search_parser.add_argument(
+        "--fanout", type=int, default=4, metavar="F",
+        help="alternatives explored per scheduling decision (default 4)",
+    )
+    search_parser.add_argument(
+        "--max-decisions", type=int, default=64, metavar="D",
+        help="how deep into a schedule new branches are opened (default 64)",
+    )
+    search_parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="wall-clock cap split across the searched algorithms (default: none)",
+    )
+    search_parser.add_argument(
+        "--replay", default=None, metavar="TOKEN",
+        help="re-execute one schedule from its replay token instead of searching",
+    )
+    search_parser.set_defaults(func=_cmd_search)
 
     merge_parser = commands.add_parser(
         "merge", help="fold all shards or work-stealing workers in DIR into the single-host result"

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Optional, Sequence
 
+from ..adversary.faults import TamperedPayload
 from .base import BOT, DecideMessage, PhaseMessage, ProcessEnvironment
 
 
@@ -84,6 +85,13 @@ def scan_mailbox(
     values: set = set()
     for message in mailbox:
         payload = message.payload
+        # Authentication modelling: a payload a corruption fault mutated in
+        # transit arrives wrapped in TamperedPayload when messages are
+        # signed.  The signature check fails, so the receiver discards the
+        # message -- an authenticated-channel Byzantine mutation degrades to
+        # an omission and never reaches the protocol logic.
+        if isinstance(payload, TamperedPayload):
+            continue
         if isinstance(payload, DecideMessage) and payload.tag == tag:
             return ExchangeOutcome(
                 kind="decide",

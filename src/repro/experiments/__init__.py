@@ -1,4 +1,4 @@
-"""Experiments E1–E9: one module per paper figure / quantitative claim.
+"""Experiments E1–E10: one module per paper figure / quantitative claim.
 
 See ``docs/experiments.md`` for the experiment index (paper claim,
 parameters and sample invocations).  Every module exposes ``plan(...)``
@@ -18,6 +18,7 @@ from . import (
     e8_scalability,
     e8l_large,
     e9_adversary,
+    e10_adaptive,
 )
 from .common import ExperimentReport, default_seeds
 
@@ -32,6 +33,7 @@ ALL_EXPERIMENTS = {
     "E8": e8_scalability,
     "E8L": e8l_large,
     "E9": e9_adversary,
+    "E10": e10_adaptive,
 }
 
 __all__ = [
@@ -48,4 +50,5 @@ __all__ = [
     "e8_scalability",
     "e8l_large",
     "e9_adversary",
+    "e10_adaptive",
 ]

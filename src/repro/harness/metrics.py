@@ -58,6 +58,7 @@ class RunMetrics:
     #: Adversary-injected channel faults (0 unless a scenario is installed).
     messages_omitted: int = 0
     messages_duplicated: int = 0
+    messages_corrupted: int = 0
     #: Environment provenance recorded for reports and shard manifests: the
     #: delay model's ``describe()`` string and the fault scenario's name
     #: ("none" without one).  Strings, so they never enter numeric summaries.
@@ -153,6 +154,7 @@ def collect_metrics(
         wall_time_seconds=wall_time_seconds,
         messages_omitted=network.stats.messages_omitted,
         messages_duplicated=network.stats.messages_duplicated,
+        messages_corrupted=network.stats.messages_corrupted,
         delay_model=delay_model,
         scenario=scenario,
     )

@@ -1,16 +1,25 @@
-"""Pytest plugin for wall-clock-gated tests: one retry on failure.
+"""Pytest plugin for flaky-by-nature tests: bounded reruns on failure.
 
-Timing gates (the kernel speedup gate, the adversary overhead gate) assert
-on measured wall-clock ratios, so a single scheduler hiccup on a loaded box
-can fail an otherwise healthy run.  Tests that carry the ``timing`` marker
-get exactly one automatic rerun when they fail; the second verdict is the
-one that counts.  Setting ``REPRO_BENCH_STRICT=1`` (as ``make bench`` does)
-disables the retry, so dedicated benchmark runs report first-try truth.
+Two marker families, one protocol:
+
+* ``timing`` -- wall-clock-gated tests (the kernel speedup gate, the
+  adversary overhead gate) assert on measured wall-clock ratios, so a
+  single scheduler hiccup on a loaded box can fail an otherwise healthy
+  run.  Marked tests get exactly one automatic rerun when they fail; the
+  second verdict is the one that counts.
+* ``random_failure(max_runs=N)`` -- tests whose assertion is inherently
+  probabilistic (search-budget smoke tests: "the bounded search finds the
+  planted bug within its budget") may need a few attempts before the
+  property holds.  Marked tests are run up to ``max_runs`` times (default
+  3) and pass as soon as one attempt passes.
+
+Setting ``REPRO_BENCH_STRICT=1`` (as ``make bench`` does) disables every
+rerun, so dedicated benchmark/strict runs report first-try truth.
 
 Adapted from the rerun-on-failure protocol of pytest-rerunfailures (via the
 pattern in nuxeo-drive's ``pytest_random.py``): the plugin takes over
 ``pytest_runtest_protocol`` for marked items only and replays the whole
-setup/call/teardown cycle once when any phase fails.
+setup/call/teardown cycle while attempts remain.
 """
 
 from __future__ import annotations
@@ -22,6 +31,9 @@ from _pytest.runner import runtestprotocol
 #: Environment variable that disables reruns (any non-empty value but "0").
 STRICT_ENV = "REPRO_BENCH_STRICT"
 
+#: Default attempt budget of ``random_failure`` when none is given.
+DEFAULT_MAX_RUNS = 3
+
 
 def _strict() -> bool:
     """Whether rerun-on-failure is disabled for this session."""
@@ -29,29 +41,63 @@ def _strict() -> bool:
     return bool(value) and value != "0"
 
 
+def _max_attempts(item) -> int:
+    """The attempt budget of ``item``: 1 for unmarked items or strict mode.
+
+    ``timing`` grants two attempts; ``random_failure(max_runs=N)`` grants
+    ``N`` (its keyword or first positional argument).  When both markers
+    are present the larger budget wins.
+    """
+    if _strict():
+        return 1
+    attempts = 1
+    if item.get_closest_marker("timing") is not None:
+        attempts = 2
+    random_marker = item.get_closest_marker("random_failure")
+    if random_marker is not None:
+        max_runs = random_marker.kwargs.get(
+            "max_runs",
+            random_marker.args[0] if random_marker.args else DEFAULT_MAX_RUNS,
+        )
+        if not isinstance(max_runs, int) or max_runs < 1:
+            raise ValueError(
+                f"random_failure(max_runs=...) must be a positive int, got {max_runs!r}"
+            )
+        attempts = max(attempts, max_runs)
+    return attempts
+
+
 def pytest_configure(config) -> None:
-    """Register the ``timing`` marker."""
+    """Register the ``timing`` and ``random_failure`` markers."""
     config.addinivalue_line(
         "markers",
         "timing: wall-clock-gated test; rerun once on failure unless "
         f"{STRICT_ENV}=1 is set.",
     )
+    config.addinivalue_line(
+        "markers",
+        "random_failure(max_runs=N): inherently probabilistic test; rerun "
+        f"until one attempt passes, at most N times (default {DEFAULT_MAX_RUNS}), "
+        f"unless {STRICT_ENV}=1 is set.",
+    )
 
 
 def pytest_runtest_protocol(item, nextitem):
-    """Run ``timing``-marked items with one retry on failure.
+    """Run marked items with bounded reruns on failure.
 
     Returns ``None`` for unmarked items (or in strict mode), handing the
-    item back to the default protocol.
+    item back to the default protocol.  Only the last attempt's reports
+    are logged, so the final verdict (recovery or exhausted budget) is the
+    one recorded.
     """
-    if item.get_closest_marker("timing") is None or _strict():
+    attempts = _max_attempts(item)
+    if attempts <= 1:
         return None
     item.ihook.pytest_runtest_logstart(nodeid=item.nodeid, location=item.location)
-    reports = runtestprotocol(item, nextitem=nextitem, log=False)
-    if any(report.failed for report in reports):
-        # Replay the full cycle once; only the second attempt's reports are
-        # logged, so the retried failure (or recovery) is the one recorded.
+    for _attempt in range(attempts):
         reports = runtestprotocol(item, nextitem=nextitem, log=False)
+        if not any(report.failed for report in reports):
+            break
     for report in reports:
         item.ihook.pytest_runtest_logreport(report=report)
     item.ihook.pytest_runtest_logfinish(nodeid=item.nodeid, location=item.location)

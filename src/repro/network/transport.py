@@ -49,10 +49,12 @@ class TrafficStats:
     messages_delivered: int = 0
     bytes_sent: int = 0
     #: Adversary-injected channel faults (see :meth:`Network.record_fault`):
-    #: sends dropped by omission/partition faults, and extra copies injected
-    #: by duplication faults.  Both stay 0 without an installed adversary.
+    #: sends dropped by omission/partition faults, extra copies injected by
+    #: duplication faults, and payloads mutated by corruption faults.  All
+    #: stay 0 without an installed adversary.
     messages_omitted: int = 0
     messages_duplicated: int = 0
+    messages_corrupted: int = 0
     sent_by_process: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     delivered_to_process: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
     sent_by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
@@ -65,6 +67,7 @@ class TrafficStats:
             "bytes_sent": self.bytes_sent,
             "messages_omitted": self.messages_omitted,
             "messages_duplicated": self.messages_duplicated,
+            "messages_corrupted": self.messages_corrupted,
             "sent_by_kind": dict(self.sent_by_kind),
         }
 
@@ -201,16 +204,22 @@ class Network:
         """Account one adversary-injected channel fault (called by the kernel).
 
         ``kind`` is ``"omitted"`` for a send the adversary dropped (omission
-        or partition fault) or ``"duplicated"`` for each extra copy it
-        injected.  This is the network's single adversary hook: the channel
-        itself stays reliable unless the kernel's adversary says otherwise.
+        or partition fault, or an adaptive adversary's infinite deferral),
+        ``"duplicated"`` for each extra copy it injected, or ``"corrupted"``
+        for each payload it mutated in transit.  This is the network's
+        single adversary hook: the channel itself stays reliable unless the
+        kernel's adversary says otherwise.
         """
         if kind == "omitted":
             self.stats.messages_omitted += 1
         elif kind == "duplicated":
             self.stats.messages_duplicated += 1
+        elif kind == "corrupted":
+            self.stats.messages_corrupted += 1
         else:
-            raise ValueError(f"unknown fault kind {kind!r}; expected 'omitted' or 'duplicated'")
+            raise ValueError(
+                f"unknown fault kind {kind!r}; expected 'omitted', 'duplicated' or 'corrupted'"
+            )
 
     def _validate_pid(self, pid: int) -> None:
         """Raise ``ValueError`` when ``pid`` is outside ``0..n-1``."""

@@ -1,0 +1,351 @@
+"""The schedule explorer: replayable controllers and bounded DFS.
+
+The kernel dispatches queue entries in ``(time, sequence)`` order; whenever
+several entries share the head's virtual timestamp, that order is one of
+many the asynchronous model allows.  A
+:class:`ReplayController` installed through
+:meth:`~repro.sim.kernel.SimulationKernel.install_schedule_controller`
+turns each such tie into an explicit decision: it replays a fixed choice
+prefix, takes the default (sequence order) beyond it, and records the
+fanout it saw at every decision -- exactly the bookkeeping a stateless
+systematic search needs.
+
+:func:`search` runs a bounded depth-first exploration over choice
+prefixes: every executed schedule spawns one frontier node per untaken
+alternative at each decision past its prefix, so no two executions repeat
+a schedule, and the whole space up to ``max_decisions`` decisions (fanout
+capped at ``fanout_cap``) is enumerated as budget allows.  Agreement and
+validity are re-verified after every schedule; the first violation is
+returned as a deterministic *replay token*.
+
+Token format (version-prefixed, slash-separated)::
+
+    v1/<algorithm>/n<n>/s<seed>/<proposals>/<choices>
+
+where ``<proposals>`` is a named pattern from
+:data:`~repro.harness.workloads.PROPOSAL_PATTERNS` and ``<choices>`` is
+the dot-joined decision list (``-`` when empty), e.g.
+``v1/planted-ben-or/n4/s0/one-dissenter/0.2.1``.  :func:`replay_token`
+re-executes the exact schedule, making any token a committable regression
+test.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..cluster.topology import ClusterTopology
+from ..core.base import ProtocolInvariantError
+from ..core.properties import verify_run
+from ..harness.runner import ALGORITHMS, ExperimentConfig, prepare_consensus
+from ..network.delays import ConstantDelay
+from ..sim.kernel import SimConfig
+
+#: The non-harness algorithms the search can target (wired by planted.py).
+PLANTED_ALGORITHMS = ("planted-ben-or",)
+
+_TOKEN_VERSION = "v1"
+
+
+class ReplayController:
+    """A schedule controller that replays a choice prefix, default-0 beyond.
+
+    ``choices[i]`` is the index to dispatch at the ``i``-th tie the kernel
+    offers; once the prefix is exhausted every further tie takes index 0,
+    which is the kernel's native sequence order -- so the empty prefix
+    reproduces the uncontrolled execution exactly.  Out-of-range choices
+    are clamped to the last tied entry (a prefix recorded against one
+    schedule stays executable when an earlier divergence shrank a later
+    fanout).  The controller records the ``trail`` of indices actually
+    taken and the ``fanouts`` it saw, which is what the explorer expands.
+    """
+
+    def __init__(self, choices: Sequence[int] = ()) -> None:
+        self._choices = list(choices)
+        self.trail: List[int] = []
+        self.fanouts: List[int] = []
+
+    def choose(self, now: float, time: float, entries: Sequence[tuple]) -> int:
+        cursor = len(self.trail)
+        fanout = len(entries)
+        index = self._choices[cursor] if cursor < len(self._choices) else 0
+        if index >= fanout:
+            index = fanout - 1
+        self.trail.append(index)
+        self.fanouts.append(fanout)
+        return index
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """One searchable configuration: algorithm, system size, seed, bounds.
+
+    ``delay`` is the constant message delay and ``scheduling_jitter`` is
+    forced to 0 -- determinism aside, collapsing all timing randomness
+    makes simultaneous events (and therefore schedule choice points)
+    abundant, which is where the search gets its leverage.
+    """
+
+    algorithm: str = "ben-or"
+    n: int = 4
+    seed: int = 0
+    m: Optional[int] = None
+    max_rounds: int = 20
+    max_time: float = 1e4
+    delay: float = 1.0
+    #: Named proposal pattern.  "one-dissenter" is the default hunting
+    #: workload: it puts the system one estimate away from unanimity, the
+    #: regime where schedule choice decides which majorities form.
+    proposals: str = "one-dissenter"
+
+    def __post_init__(self) -> None:
+        known = ALGORITHMS + PLANTED_ALGORITHMS
+        if self.algorithm not in known:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}; choose from {known}")
+        if self.n < 2:
+            raise ValueError(f"search needs at least 2 processes, got n={self.n}")
+        if not isinstance(self.proposals, str) or "/" in self.proposals:
+            raise ValueError(
+                f"search proposals must be a named pattern (token-safe), got {self.proposals!r}"
+            )
+
+    @property
+    def clusters(self) -> int:
+        """The cluster count: explicit ``m`` or the algorithm's default.
+
+        The shared-memory baseline is only defined for a single cluster;
+        everything else gets a balanced multi-cluster split.
+        """
+        if self.m is not None:
+            return self.m
+        if self.algorithm == "shared-memory":
+            return 1
+        return max(2, self.n // 2)
+
+    def sim_config(self) -> SimConfig:
+        return SimConfig(
+            max_rounds=self.max_rounds,
+            max_time=self.max_time,
+            scheduling_jitter=0.0,
+        )
+
+    def topology(self) -> ClusterTopology:
+        return ClusterTopology.even_split(self.n, self.clusters)
+
+
+@dataclass
+class ScheduleResult:
+    """The outcome of executing one fully specified schedule."""
+
+    spec: SearchSpec
+    choices: Tuple[int, ...]
+    trail: Tuple[int, ...]
+    fanouts: Tuple[int, ...]
+    violation: Optional[str] = None
+    decisions: dict = field(default_factory=dict)
+
+    @property
+    def token(self) -> str:
+        return format_token(self.spec, self.choices)
+
+
+@dataclass
+class SearchOutcome:
+    """What a bounded search found (or exhausted)."""
+
+    spec: SearchSpec
+    runs: int
+    violation: Optional[str] = None
+    token: Optional[str] = None
+    exhausted: bool = False
+
+    @property
+    def found(self) -> bool:
+        return self.violation is not None
+
+
+def format_token(spec: SearchSpec, choices: Sequence[int]) -> str:
+    """Serialise one schedule as a replay token."""
+    body = ".".join(str(choice) for choice in choices) or "-"
+    return f"{_TOKEN_VERSION}/{spec.algorithm}/n{spec.n}/s{spec.seed}/{spec.proposals}/{body}"
+
+
+def parse_token(token: str) -> Tuple[SearchSpec, Tuple[int, ...]]:
+    """Parse a replay token back into its spec and choice sequence."""
+    parts = token.strip().split("/")
+    if len(parts) != 6 or parts[0] != _TOKEN_VERSION:
+        raise ValueError(
+            f"malformed replay token {token!r}; expected "
+            f"{_TOKEN_VERSION}/<algorithm>/n<n>/s<seed>/<proposals>/<choices>"
+        )
+    _, algorithm, n_part, seed_part, proposals, body = parts
+    if not n_part.startswith("n") or not seed_part.startswith("s"):
+        raise ValueError(f"malformed replay token {token!r}")
+    try:
+        n = int(n_part[1:])
+        seed = int(seed_part[1:])
+        choices = () if body == "-" else tuple(int(piece) for piece in body.split("."))
+    except ValueError as error:
+        raise ValueError(f"malformed replay token {token!r}") from error
+    if any(choice < 0 for choice in choices):
+        raise ValueError(f"replay token {token!r} holds a negative choice")
+    return SearchSpec(algorithm=algorithm, n=n, seed=seed, proposals=proposals), choices
+
+
+def _prepare(spec: SearchSpec):
+    """Wire one un-stepped run: ``(kernel, proposals, topology)``."""
+    if spec.algorithm in PLANTED_ALGORITHMS:
+        from .planted import prepare_planted
+
+        return prepare_planted(spec)
+    config = ExperimentConfig(
+        topology=spec.topology(),
+        algorithm=spec.algorithm,
+        proposals=spec.proposals,
+        seed=spec.seed,
+        delay_model=ConstantDelay(spec.delay),
+        sim=spec.sim_config(),
+    )
+    prepared = prepare_consensus(config)
+    return prepared.kernel, prepared.proposals, config.topology
+
+
+def run_schedule(spec: SearchSpec, choices: Sequence[int] = ()) -> ScheduleResult:
+    """Execute one schedule and re-verify the safety properties.
+
+    The schedule is fully determined by ``(spec, choices)``: the seed fixes
+    every payload and coin flip, the choices fix every tie-break, so the
+    same call always reproduces the same execution.  Only *safety* is
+    judged -- a schedule that merely fails to terminate inside the round
+    cap is not a violation (the search deliberately starves quorums), but
+    disagreement, an invalid decision, or a
+    :class:`~repro.core.base.ProtocolInvariantError` escaping the protocol
+    is.
+    """
+    kernel, proposals, topology = _prepare(spec)
+    controller = ReplayController(choices)
+    kernel.install_schedule_controller(controller)
+    try:
+        sim_result = kernel.run()
+    except ProtocolInvariantError as error:
+        return ScheduleResult(
+            spec=spec,
+            choices=tuple(choices),
+            trail=tuple(controller.trail),
+            fanouts=tuple(controller.fanouts),
+            violation=f"protocol invariant violated: {error}",
+        )
+    report = verify_run(sim_result, proposals, topology, termination_expected=False)
+    violation = None if report.safety_ok else "; ".join(report.violations)
+    return ScheduleResult(
+        spec=spec,
+        choices=tuple(choices),
+        trail=tuple(controller.trail),
+        fanouts=tuple(controller.fanouts),
+        violation=violation,
+        decisions=dict(sim_result.decisions),
+    )
+
+
+def replay_token(token: str) -> ScheduleResult:
+    """Re-execute the schedule a token describes (the regression-test entry)."""
+    spec, choices = parse_token(token)
+    return run_schedule(spec, choices)
+
+
+def search(
+    spec: SearchSpec,
+    budget: int = 200,
+    fanout_cap: int = 4,
+    max_decisions: int = 64,
+    wall_budget: Optional[float] = None,
+) -> SearchOutcome:
+    """Bounded DFS over schedule prefixes, stopping at the first violation.
+
+    ``budget`` caps the number of executed schedules, ``fanout_cap`` the
+    alternatives expanded per decision, ``max_decisions`` how deep into a
+    schedule new branches are opened, and ``wall_budget`` (seconds) the
+    real time spent.  Every executed schedule expands the frontier with
+    each untaken alternative at each decision beyond its own prefix
+    (branch points are taken from the *executed* trail, so no schedule is
+    ever run twice).  Returns the first violation's token, or an
+    exhausted/budget-spent outcome with the run count.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    if fanout_cap < 2:
+        raise ValueError(f"fanout_cap must be >= 2, got {fanout_cap}")
+    if max_decisions < 1:
+        raise ValueError(f"max_decisions must be >= 1, got {max_decisions}")
+    deadline = None if wall_budget is None else _time.monotonic() + wall_budget
+    stack: List[Tuple[int, ...]] = [()]
+    runs = 0
+    while stack:
+        if runs >= budget or (deadline is not None and _time.monotonic() > deadline):
+            return SearchOutcome(spec=spec, runs=runs)
+        prefix = stack.pop()
+        result = run_schedule(spec, prefix)
+        runs += 1
+        if result.violation is not None:
+            return SearchOutcome(
+                spec=spec,
+                runs=runs,
+                violation=result.violation,
+                token=result.token,
+            )
+        # Expand: one frontier node per untaken alternative at each decision
+        # past this schedule's prefix.  Pushing deeper decisions first makes
+        # the pop order depth-first from the shallowest divergence.
+        limit = min(len(result.trail), max_decisions)
+        for depth in range(limit - 1, len(prefix) - 1, -1):
+            fanout = min(result.fanouts[depth], fanout_cap)
+            base = result.trail[:depth]
+            for choice in range(1, fanout):
+                stack.append(base + (choice,))
+    return SearchOutcome(spec=spec, runs=runs, exhausted=True)
+
+
+def search_all(
+    algorithms: Sequence[str],
+    budget: int = 200,
+    n: int = 4,
+    seed: int = 0,
+    fanout_cap: int = 4,
+    max_decisions: int = 64,
+    wall_budget: Optional[float] = None,
+) -> List[SearchOutcome]:
+    """Run :func:`search` for each algorithm, splitting any wall budget."""
+    outcomes = []
+    remaining = wall_budget
+    for algorithm in algorithms:
+        started = _time.monotonic()
+        spec = SearchSpec(algorithm=algorithm, n=n, seed=seed)
+        outcomes.append(
+            search(
+                spec,
+                budget=budget,
+                fanout_cap=fanout_cap,
+                max_decisions=max_decisions,
+                wall_budget=remaining,
+            )
+        )
+        if remaining is not None:
+            remaining = max(0.0, remaining - (_time.monotonic() - started))
+    return outcomes
+
+
+__all__ = [
+    "PLANTED_ALGORITHMS",
+    "ReplayController",
+    "ScheduleResult",
+    "SearchOutcome",
+    "SearchSpec",
+    "format_token",
+    "parse_token",
+    "replay_token",
+    "run_schedule",
+    "search",
+    "search_all",
+]

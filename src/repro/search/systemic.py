@@ -1,0 +1,130 @@
+"""Systemic-failure detection over adversarial sweep grids.
+
+A sweep like experiment e10 produces one row per (scenario, intensity,
+algorithm) cell -- safety and termination rates over a seed batch.  A
+single bad cell is noise; the interesting findings are *systemic*: a
+scenario that degrades every algorithm, an algorithm fragile under every
+adaptive strategy, or any safety violation at all (which is never
+acceptable).  :func:`detect_systemic_failure` scans the grid for those
+patterns and returns structured findings the experiment report (and the
+CLI) can surface with a recommendation attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+#: Finding severities, mildest to worst.
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class SystemicPattern:
+    """One systemic finding over a sweep grid."""
+
+    pattern_type: str
+    affected_components: Tuple[str, ...]
+    severity: str
+    recommendation: str
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}; choose from {SEVERITIES}")
+
+    def describe(self) -> str:
+        components = ", ".join(self.affected_components)
+        return f"[{self.severity}] {self.pattern_type}: {components} -- {self.recommendation}"
+
+
+def detect_systemic_failure(
+    rows: Sequence[Mapping[str, object]],
+    liveness_threshold: int = 3,
+) -> List[SystemicPattern]:
+    """Scan sweep rows for systemic degradation patterns.
+
+    Each row must carry ``scenario``, ``algorithm``, ``safety_rate`` and
+    ``termination_rate`` (as produced by the e9/e10 report builders);
+    ``liveness_preserving`` is honoured when present so scenarios that are
+    *expected* to starve termination don't raise liveness findings.
+
+    Findings, worst first:
+
+    * any ``safety_rate < 1.0`` cell is **critical** -- the paper's safety
+      guarantee is unconditional;
+    * a scenario whose liveness-preserving cells lose termination across at
+      least ``liveness_threshold`` algorithms is a **warning** (the
+      scenario systematically starves progress it should only delay);
+    * an algorithm losing termination under at least ``liveness_threshold``
+      liveness-preserving scenarios is a **warning** (the algorithm, not
+      the fault, is the common factor).
+    """
+    findings: List[SystemicPattern] = []
+
+    unsafe = sorted(
+        {
+            (str(row["scenario"]), str(row["algorithm"]))
+            for row in rows
+            if float(row["safety_rate"]) < 1.0  # type: ignore[arg-type]
+        }
+    )
+    if unsafe:
+        findings.append(
+            SystemicPattern(
+                pattern_type="safety-violation",
+                affected_components=tuple(f"{scenario}/{algorithm}" for scenario, algorithm in unsafe),
+                severity="critical",
+                recommendation=(
+                    "safety must hold under every adversary; rerun the cell's seeds "
+                    "with `python -m repro search` to extract a replayable schedule"
+                ),
+            )
+        )
+
+    by_scenario: Dict[str, set] = {}
+    by_algorithm: Dict[str, set] = {}
+    for row in rows:
+        if not bool(row.get("liveness_preserving", True)):
+            continue
+        if float(row["termination_rate"]) >= 1.0:  # type: ignore[arg-type]
+            continue
+        scenario = str(row["scenario"])
+        algorithm = str(row["algorithm"])
+        by_scenario.setdefault(scenario, set()).add(algorithm)
+        by_algorithm.setdefault(algorithm, set()).add(scenario)
+
+    for scenario, algorithms in sorted(by_scenario.items()):
+        if len(algorithms) >= liveness_threshold:
+            findings.append(
+                SystemicPattern(
+                    pattern_type="scenario-starves-liveness",
+                    affected_components=(scenario,) + tuple(sorted(algorithms)),
+                    severity="warning",
+                    recommendation=(
+                        f"scenario {scenario!r} is declared liveness-preserving but "
+                        f"starved {len(algorithms)} algorithms inside the round cap; "
+                        "raise the cap or re-examine the declaration"
+                    ),
+                )
+            )
+    for algorithm, scenarios in sorted(by_algorithm.items()):
+        if len(scenarios) >= liveness_threshold:
+            findings.append(
+                SystemicPattern(
+                    pattern_type="algorithm-fragile-liveness",
+                    affected_components=(algorithm,) + tuple(sorted(scenarios)),
+                    severity="warning",
+                    recommendation=(
+                        f"algorithm {algorithm!r} lost termination under "
+                        f"{len(scenarios)} delay-only scenarios; its quorum structure "
+                        "is unusually sensitive to adaptive delays"
+                    ),
+                )
+            )
+
+    order = {severity: index for index, severity in enumerate(SEVERITIES)}
+    findings.sort(key=lambda finding: (-order[finding.severity], finding.pattern_type))
+    return findings
+
+
+__all__ = ["SEVERITIES", "SystemicPattern", "detect_systemic_failure"]

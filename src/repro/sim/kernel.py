@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import enum
 import heapq
+import math
 from heapq import heappop, heappush
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
@@ -54,6 +55,10 @@ _DELIVERY = int(EventKind.MESSAGE_DELIVERY)
 _CRASH = int(EventKind.PROCESS_CRASH)
 _PAUSE = int(EventKind.PROCESS_PAUSE)
 _RECOVER = int(EventKind.PROCESS_RECOVER)
+
+#: An adversary returning this from ``defer`` drops the delivery outright
+#: (an infinite deferral is an omission); only valid for delivery events.
+_INF = math.inf
 
 
 class RunStatus(enum.Enum):
@@ -148,6 +153,7 @@ class SimulationKernel:
         self._live = 0
         self._network = None
         self._adversary = None
+        self._schedule_controller = None
         #: Adversary-deferred events, keyed by the re-queued entry's sequence
         #: number.  Keeps the *same* :class:`Event` object for the second
         #: offer, so the adversary's identity-based once-only bookkeeping
@@ -200,6 +206,27 @@ class SimulationKernel:
     def adversary(self):
         """The installed fault-injection adversary, or ``None``."""
         return self._adversary
+
+    def install_schedule_controller(self, controller) -> None:
+        """Install a dispatch-order controller (see :mod:`repro.search`).
+
+        At every point where the queue's head holds several entries with the
+        *same* virtual timestamp, the controller's
+        ``choose(now, time, entries)`` picks which entry (by index into the
+        sequence-ordered tie list) dispatches next; the rest are re-queued
+        untouched.  With no ties -- or no controller -- dispatch order is
+        the usual ``(time, sequence)`` order, so a controller that always
+        chooses index 0 reproduces the uncontrolled execution exactly.
+        Costs one ``is None`` check per event when uninstalled.
+        """
+        if self._schedule_controller is not None:
+            raise RuntimeError("a schedule controller is already installed")
+        self._schedule_controller = controller
+
+    @property
+    def schedule_controller(self):
+        """The installed dispatch-order controller, or ``None``."""
+        return self._schedule_controller
 
     @property
     def network(self):
@@ -261,6 +288,34 @@ class SimulationKernel:
         kind, pid, payload = event_entry_fields(event)
         self._schedule(time, kind, pid, payload)
 
+    def _controlled_pop(self, controller) -> Tuple[float, int, int, int, Any]:
+        """Pop the next entry, letting ``controller`` pick among head ties.
+
+        Entries sharing the head's virtual timestamp form the tie set (in
+        sequence order, i.e. the order the uncontrolled kernel would
+        dispatch them); the controller returns the index to dispatch now,
+        and the rest are pushed back with their original sequence numbers,
+        so they re-enter later tie sets unchanged.  A single-entry head is
+        never offered -- there is no scheduling freedom to exercise.
+        """
+        queue = self._queue
+        first = heappop(queue)
+        time = first[0]
+        if not queue or queue[0][0] != time:
+            return first
+        ties = [first]
+        while queue and queue[0][0] == time:
+            ties.append(heappop(queue))
+        index = controller.choose(self.now, time, ties)
+        if not 0 <= index < len(ties):
+            raise ValueError(
+                f"schedule controller chose index {index} among {len(ties)} tied entries"
+            )
+        chosen = ties.pop(index)
+        for entry in ties:
+            heappush(queue, entry)
+        return chosen
+
     def _jitter(self) -> float:
         if self.config.scheduling_jitter <= 0:
             return 0.0
@@ -321,6 +376,7 @@ class SimulationKernel:
         # Trace.record self-guards anyway, so boundary paths stay correct).
         trace_enabled = trace.enabled
         adversary = self._adversary
+        controller = self._schedule_controller
         handlers = self._handlers
         processes: Any = self._processes
         if set(processes) == set(range(len(processes))):
@@ -347,7 +403,10 @@ class SimulationKernel:
                     # to the cooperative host (the ``finally`` flushes the
                     # counter); the next call resumes on the same queue.
                     return None
-                time, sequence, kind, pid, payload = heappop(queue)
+                if controller is None:
+                    time, sequence, kind, pid, payload = heappop(queue)
+                else:
+                    time, sequence, kind, pid, payload = self._controlled_pop(controller)
                 if time > max_time:
                     self.now = max_time
                     self.events_processed += processed
@@ -361,6 +420,21 @@ class SimulationKernel:
                         event = entry_event(kind, pid, payload)
                     extra = adversary.defer(event, self.now)
                     if extra > 0.0:
+                        if extra == _INF:
+                            # An infinite deferral is an omission: only
+                            # deliveries may be dropped this way (dropping a
+                            # step would wedge the process outright).
+                            if kind != _DELIVERY:
+                                raise RuntimeError(
+                                    f"adversary returned an infinite deferral for "
+                                    f"non-delivery event {event!r}"
+                                )
+                            self._network.record_fault("omitted")
+                            if trace_enabled:
+                                trace.record(
+                                    self.now, "omit", pid, "dropped at dispatch by adversary"
+                                )
+                            continue
                         self._sequence += 1
                         self._deferred[self._sequence] = event
                         heappush(
@@ -744,12 +818,24 @@ class SimulationKernel:
         An empty verdict omits the message, extra entries are duplicates;
         the network's fault counters account for both.
         """
-        delays = self._adversary.deliveries(sender, dest, self.now, delay)
+        adversary = self._adversary
+        delays = adversary.deliveries(sender, dest, self.now, delay)
         if not delays:
             self._network.record_fault("omitted")
             if self.trace.enabled:
                 self.trace.record(self.now, "omit", dest, f"from={sender} dropped by adversary")
             return
+        if adversary.corrupts:
+            mutated = adversary.corrupt(sender, dest, message.payload, self.now)
+            if mutated is not message.payload:
+                self._network.record_fault("corrupted")
+                if self.trace.enabled:
+                    self.trace.record(
+                        self.now, "corrupt", dest, f"from={sender} payload tampered in transit"
+                    )
+                message = type(message)(
+                    sender, dest, mutated, message.send_time, message.msg_id
+                )
         for position, one_delay in enumerate(delays):
             if position:
                 self._network.record_fault("duplicated")

@@ -280,3 +280,51 @@ def test_python_dash_m_entry_point():
     )
     assert completed.returncode == 0, completed.stderr
     assert "e8" in completed.stdout
+
+
+# ------------------------------------------------------------- schedule search
+def test_search_replay_of_safe_token_is_clean(capsys):
+    code, out, _ = run_cli(capsys, "search", "--replay", "v1/ben-or/n4/s11/one-dissenter/3")
+    assert code == 0
+    assert "ran clean" in out
+
+
+def test_search_replay_reproduces_the_planted_violation(capsys):
+    token = "v1/planted-ben-or/n4/s11/one-dissenter/3"
+    code, out, _ = run_cli(capsys, "search", "--replay", token)
+    assert code == 1
+    assert "VIOLATION reproduced" in out
+    assert "agreement" in out
+
+
+def test_search_finds_the_planted_bug_and_prints_its_token(capsys):
+    code, out, _ = run_cli(
+        capsys, "search", "--algorithm", "planted-ben-or", "--budget", "50", "--seed", "11"
+    )
+    assert code == 1
+    assert "replay token: v1/planted-ben-or/n4/s11/one-dissenter/" in out
+    assert "--replay" in out  # the reproduce hint
+
+
+def test_search_on_a_real_algorithm_is_clean(capsys):
+    code, out, _ = run_cli(capsys, "search", "--algorithm", "ben-or", "--budget", "10")
+    assert code == 0
+    assert "no violation" in out
+
+
+def test_search_malformed_replay_token_is_an_error(capsys):
+    code, _, err = run_cli(capsys, "search", "--replay", "not-a-token")
+    assert code == 2
+    assert "malformed replay token" in err
+
+
+def test_search_unknown_algorithm_is_an_error(capsys):
+    code, _, err = run_cli(capsys, "search", "--algorithm", "raft")
+    assert code == 2
+    assert "unknown algorithm" in err
+
+
+def test_search_bad_budget_is_an_error(capsys):
+    code, _, err = run_cli(capsys, "search", "--algorithm", "ben-or", "--budget", "0")
+    assert code == 2
+    assert "budget" in err

@@ -39,9 +39,10 @@ def test_experiment_report_helpers():
     assert "X" in text and "hello" in text and "PASSED" in text
 
 
-def test_registry_contains_all_nine_experiments():
-    # The nine paper experiments plus the large-n extension driver (E8L).
-    assert sorted(ALL_EXPERIMENTS) == [f"E{i}" for i in range(1, 9)] + ["E8L", "E9"]
+def test_registry_contains_all_experiments():
+    # The nine paper experiments plus the large-n (E8L) and adaptive
+    # adversary (E10) extension drivers.
+    assert sorted(ALL_EXPERIMENTS) == ["E1", "E10"] + [f"E{i}" for i in range(2, 9)] + ["E8L", "E9"]
     for module in ALL_EXPERIMENTS.values():
         assert hasattr(module, "run") and hasattr(module, "main")
         assert isinstance(module.PAPER_CLAIM, str) and module.PAPER_CLAIM

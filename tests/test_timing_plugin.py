@@ -1,9 +1,11 @@
-"""The ``timing`` marker plugin: rerun-once semantics and strict mode.
+"""The ``timing``/``random_failure`` marker plugin: rerun semantics, strict mode.
 
 Uses pytest's ``pytester`` fixture to run a miniature suite in-process: a
 flaky test that fails on its first call and passes on the second must end
 up green under the plugin, stay red with ``REPRO_BENCH_STRICT=1``, and an
-unmarked flaky test must stay red regardless.
+unmarked flaky test must stay red regardless.  ``random_failure(max_runs=N)``
+generalises the rerun budget to ``N`` attempts, passing as soon as one
+attempt passes.
 """
 
 import pytest
@@ -59,3 +61,85 @@ def test_strict_mode_zero_means_off(timing_pytester, monkeypatch):
 def test_marker_is_registered(timing_pytester):
     result = timing_pytester.runpytest("-p", "repro.harness.pytest_timing", "--markers")
     result.stdout.fnmatch_lines(["*timing: wall-clock-gated test*"])
+
+
+RANDOM_SUITE = """
+    import pytest
+
+    COUNTS = {"third": 0, "exhausted": 0, "first": 0}
+
+    @pytest.mark.random_failure(max_runs=3)
+    def test_passes_on_third_attempt():
+        COUNTS["third"] += 1
+        assert COUNTS["third"] >= 3, "needs exactly three attempts"
+
+    @pytest.mark.random_failure(max_runs=2)
+    def test_budget_exhausted():
+        COUNTS["exhausted"] += 1
+        assert COUNTS["exhausted"] >= 3, "needs more attempts than the budget"
+
+    @pytest.mark.random_failure
+    def test_default_budget_first_try():
+        COUNTS["first"] += 1
+        assert COUNTS["first"] == 1, "passes immediately, no rerun consumed"
+"""
+
+
+@pytest.fixture
+def random_pytester(pytester, monkeypatch):
+    """A pytester session around the ``random_failure`` suite."""
+    monkeypatch.delenv("REPRO_BENCH_STRICT", raising=False)
+    pytester.makepyfile(RANDOM_SUITE)
+    return pytester
+
+
+def test_random_failure_reruns_within_budget(random_pytester):
+    result = random_pytester.runpytest("-p", "repro.harness.pytest_timing", "-q")
+    # max_runs=3 recovers on the third attempt; max_runs=2 exhausts its
+    # budget and stays red; the immediately-green test burns no reruns.
+    result.assert_outcomes(passed=2, failed=1)
+
+
+def test_random_failure_strict_mode_first_try_truth(random_pytester, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_STRICT", "1")
+    result = random_pytester.runpytest("-p", "repro.harness.pytest_timing", "-q")
+    result.assert_outcomes(passed=1, failed=2)
+
+
+def test_random_failure_marker_is_registered(random_pytester):
+    result = random_pytester.runpytest("-p", "repro.harness.pytest_timing", "--markers")
+    result.stdout.fnmatch_lines(["*random_failure(max_runs=N): inherently probabilistic test*"])
+
+
+def test_random_failure_positional_budget(pytester, monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_STRICT", raising=False)
+    pytester.makepyfile(
+        """
+        import pytest
+
+        COUNTS = {"calls": 0}
+
+        @pytest.mark.random_failure(4)
+        def test_positional():
+            COUNTS["calls"] += 1
+            assert COUNTS["calls"] >= 4
+        """
+    )
+    result = pytester.runpytest("-p", "repro.harness.pytest_timing", "-q")
+    result.assert_outcomes(passed=1)
+
+
+def test_random_failure_invalid_budget_errors(pytester, monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_STRICT", raising=False)
+    pytester.makepyfile(
+        """
+        import pytest
+
+        @pytest.mark.random_failure(max_runs=0)
+        def test_bad_budget():
+            assert True
+        """
+    )
+    result = pytester.runpytest("-p", "repro.harness.pytest_timing", "-q")
+    assert result.ret != 0
+    result.stdout.fnmatch_lines(["*must be a positive int*"])
