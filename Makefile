@@ -18,6 +18,9 @@
 #                           + work-stealing examples
 #   make search-smoke     - bounded schedule search over every algorithm
 #                           (exits nonzero with a replay token on violation)
+#   make serve-smoke      - end-to-end smoke of the live sweep service:
+#                           kill a worker mid-sweep, drive every serve
+#                           endpoint over HTTP, finish, verify bit-identity
 #   make linkcheck        - verify relative links in README.md / docs / READMEs
 
 PYTHON ?= python
@@ -30,7 +33,7 @@ BENCH_ARGS ?=
 # when the gate was added; the floor sits below that to absorb drift).
 COV_FLOOR ?= 88
 
-.PHONY: test bench-smoke bench bench-trajectory coverage lint examples-smoke search-smoke linkcheck
+.PHONY: test bench-smoke bench bench-trajectory coverage lint examples-smoke search-smoke serve-smoke linkcheck
 # Knobs for `make search-smoke` (see docs/adversary.md).
 SEARCH_BUDGET ?= 200
 SEARCH_TIME ?= 60
@@ -73,6 +76,9 @@ examples-smoke:
 
 search-smoke:
 	$(PY_RUN) -m repro search --algorithm all --budget $(SEARCH_BUDGET) --time-budget $(SEARCH_TIME)
+
+serve-smoke:
+	$(PY_RUN) scripts/serve_smoke.py
 
 linkcheck:
 	$(PY_RUN) scripts/check_markdown_links.py

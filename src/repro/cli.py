@@ -8,6 +8,8 @@ coordination beyond a shared (or later collected) output directory::
     python -m repro run e8 --shard 2/4 --out runs/   # this host's fixed quarter
     python -m repro run e8 --steal --out runs/       # dynamic: claim and steal
     python -m repro status runs/             # progress at a glance
+    python -m repro status runs/ --watch 5   # live terminal view
+    python -m repro serve --out runs/        # live HTTP view (JSON + HTML)
     python -m repro merge runs/ --report     # fold the directory, print report
 
 ``run --shard`` splits the sweep statically (round-robin by run index) and
@@ -29,6 +31,7 @@ import argparse
 import inspect
 import os
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .adversary.adaptive import adaptive_scenario_names
@@ -127,9 +130,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "either dynamically (leases) or statically (round-robin), never both"
         )
     if not args.steal and (
-        args.worker is not None or args.lease_ttl is not None or args.max_points is not None
+        args.worker is not None
+        or args.lease_ttl is not None
+        or args.max_points is not None
+        or args.wait
+        or args.poll_interval is not None
     ):
-        raise ShardError("--worker, --lease-ttl and --max-points only apply with --steal")
+        raise ShardError(
+            "--worker, --lease-ttl, --max-points, --wait and --poll-interval "
+            "only apply with --steal"
+        )
+    if args.poll_interval is not None and not args.wait:
+        raise ShardError("--poll-interval only applies with --wait")
     if args.steal:
         if args.out is None:
             raise ShardError("--steal needs --out DIR to hold the leases and checkpoints")
@@ -141,6 +153,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             max_workers=args.max_workers,
             max_points=args.max_points,
             exec_mode=args.exec_mode,
+            wait=args.wait,
+            poll_interval=args.poll_interval,
         )
         print(
             f"worker {result.worker} of {plan.key}: "
@@ -240,26 +254,40 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return exit_code
 
 
-def _cmd_merge(args: argparse.Namespace) -> int:
-    recorded = (
-        read_plan_header(args.out_dir)
-        if is_steal_dir(args.out_dir)
-        else read_manifests(args.out_dir)[0]
+def _recorded_provenance(out_dir: str):
+    """The plan provenance a run directory recorded (header or first manifest)."""
+    return (
+        read_plan_header(out_dir)
+        if is_steal_dir(out_dir)
+        else read_manifests(out_dir)[0]
     )
+
+
+def _plan_from_artifacts(out_dir: str):
+    """Rebuild ``(module, plan)`` from a directory's recorded provenance.
+
+    Raises :class:`ShardError` when the artifacts were not produced by the
+    CLI (no experiment name recorded), since the plan cannot be rebuilt.
+    """
+    recorded = _recorded_provenance(out_dir)
     experiment = recorded.get("experiment")
     if not experiment:
         raise ShardError(
-            f"artifacts in {args.out_dir} were not produced by the CLI (no experiment "
+            f"artifacts in {out_dir} were not produced by the CLI (no experiment "
             f"recorded); merge them with repro.harness.distributed.merge_shards (or "
             f"repro.harness.coordinator.merge_stolen) and the plan that produced them"
         )
-    module, plan = _build_plan(
+    return _build_plan(
         experiment,
         None,
         seeds=list(recorded["seeds"]),
         scenarios=recorded.get("scenarios"),
         require_scenarios=False,
     )
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    module, plan = _plan_from_artifacts(args.out_dir)
     if is_steal_dir(args.out_dir):
         merged = merge_stolen(args.out_dir, plan)
         source = f"{merged.shard_count} worker(s)"
@@ -281,7 +309,37 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_cell(snapshot: dict) -> str:
+    """One compact table cell from a worker's telemetry snapshot.
+
+    The full snapshot (every counter, gauge and timer) is on the
+    ``/workers`` endpoint of ``python -m repro serve``; the table keeps
+    the load-bearing digest: busy time, idleness, snapshot age.
+    """
+    parts = []
+    timer = (snapshot.get("timers") or {}).get("point_seconds")
+    if timer:
+        parts.append(f"busy {timer['total']:.2f}s/{int(timer['count'])}pt")
+    idle = (snapshot.get("counters") or {}).get("idle_polls")
+    if idle:
+        parts.append(f"{int(idle)} idle polls")
+    stamp = snapshot.get("sampled_at")
+    if stamp:
+        parts.append(f"sampled {max(time.time() - stamp, 0.0):.0f}s ago")
+    return ", ".join(parts) or "-"
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
+    if args.watch is not None:
+        if args.watch <= 0:
+            raise ShardError(f"--watch interval must be positive, got {args.watch:g}")
+        from .obs.serve import watch_status
+
+        try:
+            watch_status(args.out_dir, args.watch)
+        except KeyboardInterrupt:
+            pass
+        return 0
     if is_steal_dir(args.out_dir):
         status = steal_status(args.out_dir)
         print(
@@ -291,8 +349,15 @@ def _cmd_status(args: argparse.Namespace) -> int:
             f"{status.orphaned} orphaned, {status.unclaimed} unclaimed"
         )
         if status.workers:
+            rows = []
+            for row in status.workers:
+                row = dict(row)
+                telemetry = row.pop("telemetry", None)
+                if isinstance(telemetry, dict):
+                    row["telemetry"] = _telemetry_cell(telemetry)
+                rows.append(row)
             print()
-            print(format_records(status.workers))
+            print(format_records(rows))
         return 0
     rows = []
     for manifest in read_manifests(args.out_dir):
@@ -313,6 +378,29 @@ def _cmd_status(args: argparse.Namespace) -> int:
             }
         )
     print(format_records(rows))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs.serve import make_server
+
+    try:
+        _, plan = _plan_from_artifacts(args.out)
+    except ShardError:
+        # Serving is read-only and mostly plan-free: without a rebuildable
+        # plan (foreign artifacts, or a directory the workers have not
+        # started yet) only /aggregate degrades, reporting the gap as JSON.
+        plan = None
+    server = make_server(args.out, plan, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving sweep {args.out} at http://{host}:{port}/  (Ctrl-C to stop)")
+    print("endpoints: /status /progress /workers /aggregate")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
     return 0
 
 
@@ -368,6 +456,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-points", type=int, default=None, metavar="N",
         help="--steal only: compute at most N sweep points in this invocation "
         "(a bounded work grant), then exit",
+    )
+    run_parser.add_argument(
+        "--wait", action="store_true",
+        help="--steal only: when everything left is live-leased by other workers, "
+        "idle and re-poll instead of exiting, so this worker picks up points as "
+        "they free up (checkpoint landed elsewhere, or lease expired)",
+    )
+    run_parser.add_argument(
+        "--poll-interval", type=float, default=None, metavar="SECONDS",
+        help="--wait only: how often an idle worker re-scans the directory "
+        "(default: lease TTL / 4, matching the heartbeat cadence)",
     )
     run_parser.add_argument(
         "--max-workers", type=int, default=None, metavar="W",
@@ -442,7 +541,33 @@ def build_parser() -> argparse.ArgumentParser:
     status_parser.add_argument(
         "out_dir", metavar="DIR", help="directory holding shard manifests or a plan header"
     )
+    status_parser.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="poll and redraw the status every SECONDS (the same renderer as the "
+        "serve HTML page); Ctrl-C to stop",
+    )
     status_parser.set_defaults(func=_cmd_status)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="serve live progress of DIR over HTTP: /status, /progress, /workers "
+        "and /aggregate as JSON, plus an auto-refreshing HTML page at /; the "
+        "partial /aggregate is folded incrementally and is bit-identical to "
+        "merge over the same completed points",
+    )
+    serve_parser.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="run directory to observe (work-stealing or static shards; read-only)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8321, metavar="P",
+        help="TCP port to listen on (default 8321; 0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="address to bind (default 127.0.0.1; use 0.0.0.0 to expose on the LAN)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -95,6 +95,7 @@ from .distributed import (
     find_manifests,
     manifest_path,
 )
+from ..obs.telemetry import Telemetry
 from .parallel import worker_pool
 
 #: How long a lease stays live without a heartbeat before it can be stolen.
@@ -277,6 +278,10 @@ class Lease:
     ttl: float
     path: Path
     corrupt: bool = False
+    #: The holder's telemetry snapshot, refreshed with every heartbeat --
+    #: the lease file doubles as the worker's live metrics channel (see
+    #: :mod:`repro.obs.telemetry`).
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def expires_at(self) -> float:
@@ -295,25 +300,26 @@ def _lease_path(out_dir: Union[str, Path], point_index: int, generation: int) ->
 
 
 def _lease_payload(lease: Lease, fingerprint: str) -> bytes:
-    return json.dumps(
-        {
-            "version": MANIFEST_VERSION,
-            "fingerprint": fingerprint,
-            "point_index": lease.point_index,
-            "generation": lease.generation,
-            "worker": lease.worker,
-            "acquired_at": lease.acquired_at,
-            "renewed_at": lease.renewed_at,
-            "ttl": lease.ttl,
-        },
-        indent=2,
-    ).encode("utf-8")
+    payload = {
+        "version": MANIFEST_VERSION,
+        "fingerprint": fingerprint,
+        "point_index": lease.point_index,
+        "generation": lease.generation,
+        "worker": lease.worker,
+        "acquired_at": lease.acquired_at,
+        "renewed_at": lease.renewed_at,
+        "ttl": lease.ttl,
+    }
+    if lease.telemetry is not None:
+        payload["telemetry"] = lease.telemetry
+    return json.dumps(payload, indent=2).encode("utf-8")
 
 
 def _parse_lease(path: Path, point_index: int, generation: int, warn: bool = True) -> Lease:
     """Read one lease file; corrupt files come back as expired, with a warning."""
     try:
         raw = json.loads(path.read_text())
+        telemetry = raw.get("telemetry")
         return Lease(
             point_index=point_index,
             generation=generation,
@@ -322,6 +328,7 @@ def _parse_lease(path: Path, point_index: int, generation: int, warn: bool = Tru
             renewed_at=float(raw["renewed_at"]),
             ttl=float(raw["ttl"]),
             path=path,
+            telemetry=telemetry if isinstance(telemetry, dict) else None,
         )
     except (OSError, ValueError, KeyError, TypeError) as error:
         if warn:
@@ -371,6 +378,19 @@ def current_lease(
         return None
     generation, path = entry
     return _parse_lease(path, point_index, generation, warn=warn)
+
+
+def live_leases(out_dir: Union[str, Path]) -> List[Lease]:
+    """The live lease of every leased point, ordered by point index.
+
+    One directory scan; used by the observability layer (``serve`` and
+    ``status --watch``) to read heartbeat ages and the per-worker telemetry
+    snapshots that ride the lease files.
+    """
+    return [
+        _parse_lease(path, point_index, generation, warn=False)
+        for point_index, (generation, path) in sorted(_lease_index(out_dir).items())
+    ]
 
 
 def try_claim(
@@ -443,13 +463,17 @@ def _try_acquire(
     return lease
 
 
-def renew_lease(lease: Lease, fingerprint: str) -> Optional[Lease]:
+def renew_lease(
+    lease: Lease, fingerprint: str, telemetry: Optional[Dict[str, Any]] = None
+) -> Optional[Lease]:
     """Refresh a held lease's heartbeat; ``None`` when it was superseded.
 
     The holder atomically rewrites its own generation file with a fresh
     ``renewed_at``, then checks for a higher generation: finding one means
     a stealer decided this lease dead (the holder stalled past its TTL),
     and the holder must treat the point as no longer exclusively its own.
+    ``telemetry`` (a :meth:`~repro.obs.telemetry.Telemetry.snapshot`)
+    piggybacks on the heartbeat so worker metrics cost no extra file.
     """
     renewed = Lease(
         point_index=lease.point_index,
@@ -459,6 +483,7 @@ def renew_lease(lease: Lease, fingerprint: str) -> Optional[Lease]:
         renewed_at=time.time(),
         ttl=lease.ttl,
         path=lease.path,
+        telemetry=telemetry if telemetry is not None else lease.telemetry,
     )
     _atomic_write_bytes(lease.path, _lease_payload(renewed, fingerprint))
     top = current_lease(lease.path.parent.parent, lease.point_index, warn=False)
@@ -700,7 +725,10 @@ class WorkStealingScheduler:
     two repeatedly steals points whose leases have expired, until every
     point is checkpointed or everything left is live-leased by someone
     else -- at which point this worker exits rather than wait (re-run it,
-    or any other worker, to pick up later orphans).
+    or any other worker, to pick up later orphans).  With ``wait=True``
+    the worker idles instead of exiting: it re-polls every
+    ``poll_interval`` seconds until the remaining points are checkpointed
+    by their holders or their leases expire and become stealable.
     """
 
     schedule = "steal"
@@ -712,11 +740,15 @@ class WorkStealingScheduler:
         worker: Optional[str] = None,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         max_points: Optional[int] = None,
+        wait: bool = False,
+        poll_interval: Optional[float] = None,
     ) -> None:
         if lease_ttl <= 0:
             raise LeaseError(f"lease ttl must be positive, got {lease_ttl}")
         if max_points is not None and max_points < 1:
             raise LeaseError(f"max_points must be >= 1, got {max_points}")
+        if poll_interval is not None and poll_interval <= 0:
+            raise LeaseError(f"poll interval must be positive, got {poll_interval}")
         self.plan = plan
         self.out = Path(out_dir)
         self.worker = (
@@ -724,6 +756,13 @@ class WorkStealingScheduler:
         )
         self.ttl = float(lease_ttl)
         self.max_points = max_points
+        self.wait = wait
+        #: Default idle re-poll cadence tracks the heartbeat cadence: there
+        #: is nothing new to observe between two renewals of a live lease.
+        self.poll_interval = (
+            float(poll_interval) if poll_interval is not None else max(self.ttl / 4.0, 0.01)
+        )
+        self.telemetry = Telemetry()
         header = write_plan_header(self.out, plan)
         lease_dir(self.out).mkdir(parents=True, exist_ok=True)
         self.result = StealRunResult(
@@ -766,8 +805,16 @@ class WorkStealingScheduler:
                 if lease is not None:
                     progressed = True
                     yield self._task(point_index, lease)
-            if not self._outstanding() or not progressed:
+            if not self._outstanding():
                 break
+            if not progressed:
+                if not self.wait:
+                    break
+                # Everything left is live-leased by other workers.  Idle
+                # instead of exiting: their checkpoints will settle the
+                # points, or their leases will expire and become ours.
+                self.telemetry.inc("idle_polls")
+                time.sleep(self.poll_interval)
         for point_index in self._outstanding():
             label = self.plan.points[point_index].label
             self._recorded[point_index] = "left-behind"
@@ -776,14 +823,20 @@ class WorkStealingScheduler:
 
     @contextmanager
     def hold(self, task: PointTask) -> Iterator[None]:
-        """Renew the task's lease from a heartbeat thread while it executes."""
+        """Renew the task's lease from a heartbeat thread while it executes.
+
+        Each renewal carries a fresh telemetry snapshot, so the lease file
+        doubles as the worker's live metrics feed while it computes.
+        """
         stop = threading.Event()
         interval = max(self.ttl / 4.0, 0.01)
 
         def beat() -> None:
             """Renew until stopped, superseded, or the context exits."""
             while not stop.wait(interval):
-                refreshed = renew_lease(task.lease, self._fingerprint)
+                refreshed = renew_lease(
+                    task.lease, self._fingerprint, telemetry=self.telemetry.snapshot()
+                )
                 if refreshed is None:
                     task.superseded = True
                     return
@@ -794,7 +847,8 @@ class WorkStealingScheduler:
         )
         keeper.start()
         try:
-            yield
+            with self.telemetry.timer("point_seconds"):
+                yield
         finally:
             stop.set()
             keeper.join(timeout=10.0)
@@ -808,6 +862,7 @@ class WorkStealingScheduler:
             # our own time; record the loss and keep going.
             self._recorded[task.point_index] = "lost"
             self.result.lost.append(task.label)
+            self.telemetry.inc("points_lost")
             self._write_manifest()
             return
         _write_checkpoint(
@@ -824,9 +879,13 @@ class WorkStealingScheduler:
             },
         )
         self.result.runs_executed += len(summaries)
+        self.telemetry.inc("points_computed")
+        self.telemetry.inc("runs_executed", len(summaries))
+        self.telemetry.set_gauge("last_checkpoint_at", time.time())
         if task.lease.generation > 0:
             self._recorded[task.point_index] = "stolen"
             self.result.stolen.append(task.label)
+            self.telemetry.inc("points_stolen")
         else:
             self._recorded[task.point_index] = "executed"
             self.result.executed.append(task.label)
@@ -916,6 +975,7 @@ class WorkStealingScheduler:
             "points_lost": len(self.result.lost),
             "runs_executed": self.result.runs_executed,
             "runs_reused": self.result.runs_reused,
+            "telemetry": self.telemetry.snapshot(),
         }
         _atomic_write_bytes(
             self.result.manifest, json.dumps(payload, indent=2).encode("utf-8")
@@ -930,6 +990,8 @@ def run_work_stealing(
     max_workers: Optional[int] = None,
     max_points: Optional[int] = None,
     exec_mode: Optional[str] = None,
+    wait: bool = False,
+    poll_interval: Optional[float] = None,
 ) -> StealRunResult:
     """Execute ``plan`` as one work-stealing worker over ``out_dir``.
 
@@ -941,9 +1003,19 @@ def run_work_stealing(
     to the single-host sweep.  ``max_points`` bounds how many points this
     invocation computes (useful for fixed-size work grants); ``lease_ttl``
     is how long a silent holder keeps a point before it becomes stealable.
+    ``wait=True`` makes the worker idle (re-polling every ``poll_interval``
+    seconds, default ``lease_ttl / 4``) when everything left is live-leased,
+    instead of exiting -- so a fleet drains a sweep without a supervisor
+    re-launching stragglers.
     """
     scheduler = WorkStealingScheduler(
-        plan, Path(out_dir), worker=worker, lease_ttl=lease_ttl, max_points=max_points
+        plan,
+        Path(out_dir),
+        worker=worker,
+        lease_ttl=lease_ttl,
+        max_points=max_points,
+        wait=wait,
+        poll_interval=poll_interval,
     )
     return drive_claims(plan, scheduler, max_workers, exec_mode=exec_mode)
 
@@ -1000,15 +1072,17 @@ def steal_status(out_dir: Union[str, Path]) -> StealStatus:
             raw = json.loads(path.read_text())
         except (OSError, ValueError) as error:
             raise ManifestError(f"malformed worker manifest {path}: {error}") from error
-        workers.append(
-            {
-                "worker": raw.get("worker", "?"),
-                "computed": raw.get("points_computed", 0),
-                "stolen": raw.get("points_stolen", 0),
-                "lost": raw.get("points_lost", 0),
-                "runs_executed": raw.get("runs_executed", 0),
-            }
-        )
+        row = {
+            "worker": raw.get("worker", "?"),
+            "computed": raw.get("points_computed", 0),
+            "stolen": raw.get("points_stolen", 0),
+            "lost": raw.get("points_lost", 0),
+            "runs_executed": raw.get("runs_executed", 0),
+        }
+        telemetry = raw.get("telemetry")
+        if isinstance(telemetry, dict):
+            row["telemetry"] = telemetry
+        workers.append(row)
     return StealStatus(
         points_total=len(labels),
         done=done,
@@ -1050,8 +1124,8 @@ def merge_stolen(out_dir: Union[str, Path], plan: SweepPlan) -> MergedSweep:
             unfinished.append(point.label)
             continue
         summaries = _load_checkpoint(cpath, plan, _WHOLE, point_index)
-        aggregates[point.label] = RunAggregate.from_summaries(
-            summaries, capacity=plan.capacity
+        aggregates[point.label] = distributed.fold_point(
+            plan, point_index, ((summary.index, summary) for summary in summaries)
         )
     if unfinished:
         status = steal_status(out)

@@ -56,7 +56,7 @@ import re
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .aggregate import (
     SKETCH_CAPACITY,
@@ -583,6 +583,32 @@ def check_merge_provenance(
         )
 
 
+def fold_point(
+    plan: SweepPlan, point_index: int, pairs: Iterable[Tuple[int, RunSummary]]
+) -> RunAggregate:
+    """Fold one point's ``(run_index, summary)`` pairs into its aggregate.
+
+    THE canonical per-point fold: sort by run index, require exactly the
+    plan's indices for the point, and feed
+    :meth:`~repro.harness.aggregate.RunAggregate.from_summaries` in that
+    order.  :func:`merge_shards`, the work-stealing
+    :func:`~repro.harness.coordinator.merge_stolen`, and the observability
+    layer's :class:`~repro.obs.merge.IncrementalMerger` all fold through
+    this one function, which is what makes their aggregates bit-identical
+    to :func:`run_plan` -- and to each other -- by construction.
+    """
+    ordered = sorted(pairs, key=lambda pair: pair[0])
+    indices = [index for index, _ in ordered]
+    if indices != plan.point_indices(point_index):
+        raise ManifestError(
+            f"point {plan.points[point_index].label!r} reassembled with run "
+            f"indices {indices}, expected {plan.point_indices(point_index)}"
+        )
+    return RunAggregate.from_summaries(
+        (summary for _, summary in ordered), capacity=plan.capacity
+    )
+
+
 def merge_shards(out_dir: Union[str, Path], plan: SweepPlan) -> MergedSweep:
     """Fold every shard under ``out_dir`` into the single-host aggregates.
 
@@ -641,14 +667,5 @@ def merge_shards(out_dir: Union[str, Path], plan: SweepPlan) -> MergedSweep:
 
     aggregates: Dict[str, RunAggregate] = {}
     for point_index, point in enumerate(plan.points):
-        pairs = sorted(per_point[point_index], key=lambda pair: pair[0])
-        indices = [index for index, _ in pairs]
-        if indices != plan.point_indices(point_index):
-            raise ManifestError(
-                f"point {point.label!r} reassembled with run indices {indices}, "
-                f"expected {plan.point_indices(point_index)}"
-            )
-        aggregates[point.label] = RunAggregate.from_summaries(
-            (summary for _, summary in pairs), capacity=plan.capacity
-        )
+        aggregates[point.label] = fold_point(plan, point_index, per_point[point_index])
     return MergedSweep(plan=plan, shard_count=count, aggregates=aggregates)

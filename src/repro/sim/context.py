@@ -219,21 +219,47 @@ class ProcessContext:
     def mark_round(self, round_number: int) -> None:
         """Record that the process entered ``round_number``.
 
-        Raises :class:`RoundLimitExceeded` when the simulation configuration
-        bounds the number of rounds and the bound is exceeded.
+        When tracing is on, a ``round`` span marker lands in the trace with
+        the round number as structured data, so a dumped execution can be
+        sliced per round.  Raises :class:`RoundLimitExceeded` when the
+        simulation configuration bounds the number of rounds and the bound
+        is exceeded (the marker is recorded first: the over-limit round is
+        part of the execution's observable history).
         """
         self.stats.rounds = max(self.stats.rounds, round_number)
-        limit = self._kernel.config.max_rounds
+        kernel = self._kernel
+        if kernel.trace.enabled:
+            kernel.trace.record(
+                kernel.now,
+                "round",
+                self.pid,
+                f"entered round {round_number}",
+                {"round": round_number},
+            )
+        limit = kernel.config.max_rounds
         if limit is not None and round_number > limit:
             raise RoundLimitExceeded(self.pid, round_number, limit)
+
+    def mark_phase(self, name: str) -> None:
+        """Record a ``phase`` span marker (e.g. ``propose``/``decide``).
+
+        Purely observational: phases carry no accounting, they only structure
+        a dumped trace so post-processing can attribute time and messages to
+        algorithm phases within a round.
+        """
+        kernel = self._kernel
+        if kernel.trace.enabled:
+            kernel.trace.record(
+                kernel.now, "phase", self.pid, f"entered phase {name!r}", {"phase": name}
+            )
 
     def count_coin_flip(self) -> None:
         """Record one coin invocation (local or common) by this process."""
         self.stats.coin_flips += 1
 
     def log(self, message: str) -> None:
-        """Record a free-form annotation in the simulation trace."""
-        self._kernel.trace.annotate(self.pid, message)
+        """Record a free-form annotation in the simulation trace at ``now``."""
+        self._kernel.trace.annotate(self.pid, message, time=self._kernel.now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ProcessContext(pid={self.pid}, t={self.now():.4f})"

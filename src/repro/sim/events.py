@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 
 class Event:
@@ -98,6 +98,11 @@ class EventKind(enum.IntEnum):
 
 #: How many entries a kind-indexed handler table needs.
 N_EVENT_KINDS = len(EventKind)
+
+#: Lower-case kind names indexable by a flat entry's ``kind`` int; used for
+#: the structured ``data`` of ``event`` trace records without re-entering
+#: the enum machinery per traced event.
+EVENT_KIND_NAMES = tuple(kind.name.lower() for kind in EventKind)
 
 #: Exact-type mapping Event class -> kind.  Subclasses of the public event
 #: types are resolved (and cached) through their MRO by :func:`event_kind`,
@@ -203,13 +208,42 @@ def describe(event: Event) -> str:
 
 @dataclass
 class TraceEntry:
-    """One recorded entry of a simulation trace."""
+    """One recorded entry of a simulation trace.
+
+    Entries are structured: besides the virtual ``time``, the per-trace
+    ``sequence`` number, the entry ``kind`` (``send``, ``decide``,
+    ``round``...), and the originating ``pid``, an entry may carry a
+    machine-readable ``data`` mapping (JSON-serializable scalars only) with
+    the fields the free-text ``detail`` used to encode -- the send's
+    destination, the round number a span marker opens, the corrupted
+    message's source.  :meth:`to_json` is the JSONL schema one line of a
+    dumped trace holds (see :meth:`~repro.sim.trace.Trace.to_jsonl`).
+    """
 
     time: float
     sequence: int
     kind: str
     pid: Optional[int]
     detail: str
+    data: Optional[Dict[str, Any]] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        """The entry as one JSON-serializable mapping (the JSONL schema).
+
+        Keys are stable and ordered: ``time``, ``seq``, ``kind``, ``pid``,
+        ``detail``, plus ``data`` only when structured fields were recorded
+        -- so dumped traces diff cleanly line by line.
+        """
+        payload: Dict[str, Any] = {
+            "time": self.time,
+            "seq": self.sequence,
+            "kind": self.kind,
+            "pid": self.pid,
+            "detail": self.detail,
+        }
+        if self.data:
+            payload["data"] = self.data
+        return payload
 
     def format(self) -> str:
         """Render the entry as one aligned, human-readable trace line."""

@@ -28,7 +28,8 @@ import heapq
 import math
 from heapq import heappop, heappush
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from .context import (
     LocalEffect,
@@ -40,6 +41,7 @@ from .context import (
     WaitEffect,
 )
 from .events import (
+    EVENT_KIND_NAMES,
     EventKind,
     describe_entry,
     entry_event,
@@ -138,11 +140,21 @@ class SimulationKernel:
         seed: int = 0,
         config: Optional[SimConfig] = None,
         rng: Optional[RandomSource] = None,
+        trace_sink: Optional[Union[str, Path]] = None,
     ) -> None:
         self.config = config or SimConfig()
         self.rng = rng if rng is not None else RandomSource(seed)
         self.now: float = 0.0
-        self.trace = Trace(enabled=self.config.trace, max_entries=self.config.trace_max_entries)
+        #: When set, the trace is force-enabled and dumped to this path as
+        #: JSONL (see :meth:`~repro.sim.trace.Trace.dump_jsonl`) every time
+        #: the run reaches a terminal state.  A kernel option rather than a
+        #: :class:`SimConfig` field on purpose: where a trace lands on one
+        #: host must not perturb plan fingerprints shared across hosts.
+        self.trace_sink = Path(trace_sink) if trace_sink is not None else None
+        self.trace = Trace(
+            enabled=self.config.trace or self.trace_sink is not None,
+            max_entries=self.config.trace_max_entries,
+        )
         #: Flat event queue: ``(time, sequence, kind, pid, payload)`` tuples.
         self._queue: List[Tuple[float, int, int, int, Any]] = []
         self._sequence = 0
@@ -432,7 +444,11 @@ class SimulationKernel:
                             self._network.record_fault("omitted")
                             if trace_enabled:
                                 trace.record(
-                                    self.now, "omit", pid, "dropped at dispatch by adversary"
+                                    self.now,
+                                    "omit",
+                                    pid,
+                                    "dropped at dispatch by adversary",
+                                    {"at": "dispatch"},
                                 )
                             continue
                         self._sequence += 1
@@ -443,7 +459,13 @@ class SimulationKernel:
                         continue
                 processed += 1
                 if trace_enabled:
-                    trace.record(self.now, "event", pid, describe_entry(kind, pid, payload))
+                    trace.record(
+                        self.now,
+                        "event",
+                        pid,
+                        describe_entry(kind, pid, payload),
+                        {"event": EVENT_KIND_NAMES[kind]},
+                    )
                 if kind == _DELIVERY:
                     # Inlined _handle_delivery: deliveries are the majority
                     # event kind, and they can never settle a process, so the
@@ -515,7 +537,9 @@ class SimulationKernel:
                         now = self.now
                         message, delay = network.transmit(pid, dest, effect.payload, now)
                         if trace_enabled:
-                            trace.record(now, "send", pid, f"to={dest} {effect.payload!r}")
+                            trace.record(
+                                now, "send", pid, f"to={dest} {effect.payload!r}", {"dest": dest}
+                            )
                         if adversary is None:
                             # One batched sequence bump covers both pushes; the
                             # delivery keeps the lower number, exactly as two
@@ -632,7 +656,7 @@ class SimulationKernel:
             message, delay = network.transmit(pid, dest, effect.payload, now)
             trace = self.trace
             if trace.enabled:
-                trace.record(now, "send", pid, f"to={dest} {effect.payload!r}")
+                trace.record(now, "send", pid, f"to={dest} {effect.payload!r}", {"dest": dest})
             queue = self._queue
             if self._adversary is None:
                 # One batched sequence bump covers both pushes; the delivery
@@ -730,7 +754,11 @@ class SimulationKernel:
             self._schedule(self.now, kind, event_pid, event_payload)
         if self.trace.enabled:
             self.trace.record(
-                self.now, "recover", pid, f"replaying {len(backlog)} buffered event(s)"
+                self.now,
+                "recover",
+                pid,
+                f"replaying {len(backlog)} buffered event(s)",
+                {"replayed": len(backlog)},
             )
 
     # ----------------------------------------------------------- process steps
@@ -794,7 +822,7 @@ class SimulationKernel:
         now = self.now
         message, delay = network.transmit(pid, dest, effect.payload, now)
         if self.trace.enabled:
-            self.trace.record(now, "send", pid, f"to={dest} {effect.payload!r}")
+            self.trace.record(now, "send", pid, f"to={dest} {effect.payload!r}", {"dest": dest})
         if self._adversary is None:
             self._sequence += 1
             heappush(
@@ -823,7 +851,13 @@ class SimulationKernel:
         if not delays:
             self._network.record_fault("omitted")
             if self.trace.enabled:
-                self.trace.record(self.now, "omit", dest, f"from={sender} dropped by adversary")
+                self.trace.record(
+                    self.now,
+                    "omit",
+                    dest,
+                    f"from={sender} dropped by adversary",
+                    {"from": sender},
+                )
             return
         if adversary.corrupts:
             mutated = adversary.corrupt(sender, dest, message.payload, self.now)
@@ -831,7 +865,11 @@ class SimulationKernel:
                 self._network.record_fault("corrupted")
                 if self.trace.enabled:
                     self.trace.record(
-                        self.now, "corrupt", dest, f"from={sender} payload tampered in transit"
+                        self.now,
+                        "corrupt",
+                        dest,
+                        f"from={sender} payload tampered in transit",
+                        {"from": sender},
                     )
                 message = type(message)(
                     sender, dest, mutated, message.send_time, message.msg_id
@@ -844,11 +882,13 @@ class SimulationKernel:
     def _do_sm_op(self, proc: SimProcess, effect: SharedMemEffect) -> None:
         result = effect.operation(*effect.args)
         if self.trace.enabled:
+            op_name = str(getattr(effect.operation, "__qualname__", effect.operation))
             self.trace.record(
                 self.now,
                 "sm-op",
                 proc.pid,
-                f"{getattr(effect.operation, '__qualname__', effect.operation)!s}{effect.args!r} -> {result!r}",
+                f"{op_name}{effect.args!r} -> {result!r}",
+                {"op": op_name},
             )
         self._resume_later(proc.pid, result, self.config.sm_op_delay)
 
@@ -876,6 +916,8 @@ class SimulationKernel:
         return RunStatus.DEADLOCK
 
     def _result(self, status: RunStatus) -> SimulationResult:
+        if self.trace_sink is not None:
+            self.trace.dump_jsonl(self.trace_sink)
         decisions = {
             pid: proc.decision
             for pid, proc in self._processes.items()

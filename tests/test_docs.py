@@ -23,6 +23,7 @@ def test_front_door_documents_exist():
         "docs/architecture.md",
         "docs/distributed.md",
         "docs/experiments.md",
+        "docs/observability.md",
         "docs/simulator.md",
         "examples/README.md",
         "src/repro/harness/README.md",
@@ -79,11 +80,30 @@ def test_distributed_doc_covers_the_protocol():
         assert topic in text, f"docs/distributed.md lacks the {topic!r} topic"
 
 
+def test_observability_doc_covers_the_surface():
+    text = (REPO_ROOT / "docs" / "observability.md").read_text().lower()
+    for topic in (
+        "jsonl",
+        "trace_sink",
+        "telemetry",
+        "/status",
+        "/progress",
+        "/workers",
+        "/aggregate",
+        "--watch",
+        "--wait",
+        "bit-identical",
+        "incremental",
+    ):
+        assert topic in text, f"docs/observability.md lacks the {topic!r} topic"
+
+
 def test_architecture_doc_maps_every_package():
     text = (REPO_ROOT / "docs" / "architecture.md").read_text()
     packages = (
         "sim", "network", "sharedmem", "coins", "cluster", "core",
-        "baselines", "mm", "adversary", "harness", "experiments", "cli",
+        "baselines", "mm", "adversary", "harness", "experiments", "obs",
+        "cli",
     )
     for package in packages:
         assert f"repro.{package}" in text, f"docs/architecture.md lacks repro.{package}"
@@ -93,7 +113,12 @@ def test_architecture_doc_maps_every_package():
 
 #: Documentation whose ``python -m repro ...`` lines must parse against the
 #: real argparse surface -- the docs cannot drift from the CLI silently.
-INVOCATION_DOCS = ("README.md", "docs/experiments.md", "docs/distributed.md")
+INVOCATION_DOCS = (
+    "README.md",
+    "docs/experiments.md",
+    "docs/distributed.md",
+    "docs/observability.md",
+)
 
 
 def documented_invocations():

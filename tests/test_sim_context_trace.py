@@ -149,3 +149,119 @@ def test_trace_entry_format_contains_fields():
     entry = TraceEntry(time=1.5, sequence=7, kind="send", pid=3, detail="hello")
     text = entry.format()
     assert "send" in text and "hello" in text and "3" in text
+
+
+# ------------------------------------------------------- structured tracing
+def build_traced_kernel():
+    kernel = SimulationKernel(seed=1, config=SimConfig(trace=True))
+    kernel.attach_network(Network(2, delay_model=ConstantDelay(1.0), rng=RandomSource(1)))
+    return kernel
+
+
+def test_log_annotation_carries_simulation_time():
+    # Regression: annotations used to land at a -1.0 sentinel time instead
+    # of the virtual time at which the algorithm logged them.
+    kernel = build_traced_kernel()
+
+    def proc(ctx):
+        yield from ctx.local_step(2.5)
+        ctx.log("after the step")
+        return 0
+
+    kernel.add_process(0, proc)
+    kernel.add_process(1, _idle)
+    kernel.run()
+    notes = kernel.trace.of_kind("note")
+    assert len(notes) == 1
+    # The local step costs 2.5 virtual seconds (plus scheduling epsilon),
+    # so a correctly timed annotation cannot land before it.
+    assert notes[0].time >= 2.5
+
+
+def test_round_and_phase_markers_are_structured():
+    kernel = build_traced_kernel()
+
+    def proc(ctx):
+        ctx.mark_round(1)
+        ctx.mark_phase("vote")
+        yield from ctx.local_step()
+        ctx.mark_round(2)
+        return 0
+
+    kernel.add_process(0, proc)
+    kernel.add_process(1, _idle)
+    kernel.run()
+    rounds = kernel.trace.of_kind("round")
+    assert [entry.data for entry in rounds] == [{"round": 1}, {"round": 2}]
+    phases = kernel.trace.of_kind("phase")
+    assert phases[0].data == {"phase": "vote"} and phases[0].pid == 0
+
+
+def test_markers_cost_nothing_when_tracing_is_off():
+    kernel = build_kernel()
+
+    def proc(ctx):
+        ctx.mark_round(1)
+        ctx.mark_phase("vote")
+        yield from ctx.local_step()
+        return 0
+
+    kernel.add_process(0, proc)
+    kernel.run()
+    assert len(kernel.trace) == 0
+
+
+def test_send_entries_carry_destination_data():
+    kernel = build_traced_kernel()
+
+    def proc(ctx):
+        yield from ctx.send(1, "payload")
+        return 0
+
+    kernel.add_process(0, proc)
+    kernel.add_process(1, _idle)
+    kernel.run()
+    sends = kernel.trace.of_kind("send")
+    assert sends and sends[0].data == {"dest": 1}
+    events = kernel.trace.of_kind("event")
+    assert events and all("event" in entry.data for entry in events)
+
+
+def test_trace_jsonl_is_one_stable_object_per_line():
+    import json
+
+    trace = Trace(enabled=True)
+    trace.record(0.0, "send", 1, "to=2", {"dest": 2})
+    trace.record(1.0, "note", None, "free text")
+    lines = trace.to_jsonl().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert list(first) == ["time", "seq", "kind", "pid", "detail", "data"]
+    assert first["data"] == {"dest": 2}
+    second = json.loads(lines[1])
+    assert second["pid"] is None and "data" not in second
+    assert Trace(enabled=True).to_jsonl() == ""
+
+
+def test_trace_sink_dumps_jsonl_on_run_end(tmp_path):
+    import json
+
+    sink = tmp_path / "trace.jsonl"
+    kernel = SimulationKernel(seed=1, trace_sink=sink)
+    kernel.attach_network(Network(2, delay_model=ConstantDelay(1.0), rng=RandomSource(1)))
+
+    def proc(ctx):
+        ctx.mark_round(1)
+        yield from ctx.send(1, "x")
+        return 0
+
+    kernel.add_process(0, proc)
+    kernel.add_process(1, _idle)
+    # A sink force-enables tracing even though the config leaves it off.
+    assert kernel.trace.enabled
+    kernel.run()
+    lines = sink.read_text().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert records[-1] == {"meta": {"entries": len(records) - 1, "dropped": 0}}
+    kinds = {record["kind"] for record in records[:-1]}
+    assert {"round", "send", "event"} <= kinds
