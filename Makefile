@@ -14,8 +14,9 @@
 #                           line-coverage floor (skips with a notice when
 #                           pytest-cov is absent; the CI coverage job runs it)
 #   make lint             - ruff check (skips with a notice when ruff is absent)
-#   make examples-smoke   - run the quickstart, adversary-tour, sharded-sweep
-#                           + work-stealing examples
+#   make examples-smoke   - run the quickstart, adversary-tour, sharded-sweep,
+#                           work-stealing + empirical-resilience examples and
+#                           a fit-delays CLI round trip
 #   make search-smoke     - bounded schedule search over every algorithm
 #                           (exits nonzero with a replay token on violation)
 #   make serve-smoke      - end-to-end smoke of the live sweep service:
@@ -30,8 +31,9 @@ PY_RUN = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON)
 # Extra flags for scripts/bench_trajectory.py in `make bench`/`bench-trajectory`.
 BENCH_ARGS ?=
 # Line-coverage floor for `make coverage` (line coverage measured at 93%
-# when the gate was added; the floor sits below that to absorb drift).
-COV_FLOOR ?= 88
+# when the gate was added; the floor sits below that to absorb drift, and
+# was raised to 89 with the empirical-delay/e11 suite).
+COV_FLOOR ?= 89
 
 .PHONY: test bench-smoke bench bench-trajectory coverage lint examples-smoke search-smoke serve-smoke linkcheck
 # Knobs for `make search-smoke` (see docs/adversary.md).
@@ -73,6 +75,8 @@ examples-smoke:
 	$(PY_RUN) examples/adversary_tour.py
 	$(PY_RUN) examples/sharded_sweep.py
 	$(PY_RUN) examples/work_stealing.py
+	$(PY_RUN) -m repro fit-delays tests/data/rtt_sample.csv --model empirical --unit-mean
+	$(PY_RUN) examples/empirical_resilience.py
 
 search-smoke:
 	$(PY_RUN) -m repro search --algorithm all --budget $(SEARCH_BUDGET) --time-budget $(SEARCH_TIME)

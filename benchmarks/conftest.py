@@ -29,6 +29,11 @@ def pytest_configure(config):
         "markers",
         "timing: wall-clock-gated test; rerun once on failure unless REPRO_BENCH_STRICT=1 is set.",
     )
+    config.addinivalue_line(
+        "markers",
+        "random_failure(max_runs=N): wall-clock-gated test retried up to N times; "
+        "REPRO_BENCH_STRICT=1 disables every rerun.",
+    )
 
 
 @pytest.fixture

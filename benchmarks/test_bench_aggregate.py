@@ -17,6 +17,8 @@ runs use a smaller sweep and never flake on wall-clock numbers.
 
 import pickle
 
+import pytest
+
 from repro.cluster.topology import ClusterTopology
 from repro.harness.aggregate import RunAggregate, SummaryReducer
 from repro.harness.parallel import available_cpus
@@ -57,6 +59,9 @@ def test_bench_aggregate_bytes_over_pipe():
     assert ratio < 0.10, f"summary payload is {ratio:.1%} of the full result, expected <10%"
 
 
+# random_failure, not plain timing: the gate compares two measured paths,
+# so it needs more headroom than a single rerun when the box is loaded.
+@pytest.mark.random_failure(max_runs=3)
 def test_bench_aggregate_sweep_throughput(benchmark, timed, strict_timing):
     # Smoke keeps the shape of the comparison (same repeat count, same
     # asserts modulo timing) on a size that stays fast on one core.

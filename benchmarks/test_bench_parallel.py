@@ -6,6 +6,8 @@ The two must produce identical results; on a machine with at least 4 cores
 the parallel sweep must also be at least 2x faster wall-clock.
 """
 
+import pytest
+
 from repro.harness.parallel import available_cpus
 
 from repro.cluster.topology import ClusterTopology
@@ -29,6 +31,9 @@ def _scalability_sweep(max_workers):
     return grid(base, axes, seeds=SEEDS, max_workers=max_workers, full_results=True)
 
 
+# random_failure, not plain timing: the >=2x bar depends on pool spawn
+# latency and free cores, the two things CI neighbours perturb most.
+@pytest.mark.random_failure(max_runs=3)
 def test_bench_parallel_sweep_throughput(benchmark, timed, strict_timing):
     # The hard >=2x assert is live only when the shared strict_timing gate
     # holds (dedicated `make bench` run, >=4 usable CPUs).  When live,

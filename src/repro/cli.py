@@ -38,6 +38,7 @@ from .adversary.adaptive import adaptive_scenario_names
 from .adversary.library import scenario_names
 from .experiments import ALL_EXPERIMENTS
 from .experiments.common import default_seeds, run_planned
+from .experiments.e11_resilience import resilience_scenario_names
 from .harness.coordinator import (
     DEFAULT_LEASE_TTL,
     is_steal_dir,
@@ -89,7 +90,7 @@ def _build_plan(
         elif require_scenarios:
             raise ShardError(
                 f"experiment {experiment!r} does not take --scenario "
-                f"(only e9 and e10 sweep fault scenarios)"
+                f"(only e9, e10 and e11 sweep fault scenarios)"
             )
     return module, module.plan(**kwargs)
 
@@ -110,13 +111,16 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     scenarios = None
     if args.scenario is not None:
-        # e10 sweeps the adaptive registry, every other scenario-aware
-        # experiment (e9) the declarative library.
-        known = (
-            adaptive_scenario_names()
-            if args.experiment.upper() == "E10"
-            else scenario_names()
-        )
+        # Each scenario-aware experiment validates against its own registry:
+        # e10 the adaptive strategies, e11 the resilience schedules, e9 the
+        # declarative library.
+        experiment = args.experiment.upper()
+        if experiment == "E10":
+            known = adaptive_scenario_names()
+        elif experiment == "E11":
+            known = resilience_scenario_names()
+        else:
+            known = scenario_names()
         if args.scenario not in known:
             raise ShardError(
                 f"unknown scenario {args.scenario!r} for {args.experiment}; "
@@ -252,6 +256,29 @@ def _cmd_search(args: argparse.Namespace) -> int:
             state = "space exhausted" if outcome.exhausted else "budget spent"
             print(f"{algorithm}: no violation in {outcome.runs} schedules ({state})")
     return exit_code
+
+
+def _cmd_fit_delays(args: argparse.Namespace) -> int:
+    from .network.empirical import fit_delay_model, load_rtt_samples
+
+    try:
+        samples = load_rtt_samples(args.dataset)
+        model = fit_delay_model(
+            samples,
+            kind=args.model,
+            resolution=args.resolution,
+            unit_mean=args.unit_mean,
+        )
+    except ValueError as error:
+        # Unreadable datasets and bad fit parameters follow the CLI's error
+        # convention instead of escaping as tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"# fit from {len(samples)} samples in {args.dataset}"
+          + (" (normalised to unit mean)" if args.unit_mean else ""))
+    print(f"# describe: {model.describe()}")
+    print(repr(model))
+    return 0
 
 
 def _recorded_provenance(out_dir: str):
@@ -408,8 +435,9 @@ def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Run, shard, resume and merge the experiments E1-E10, "
-        "or search the schedule space for safety violations.",
+        description="Run, shard, resume and merge the experiments E1-E11, "
+        "search the schedule space for safety violations, or fit delay "
+        "models from measured RTT data.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -423,8 +451,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--scenario", default=None, metavar="NAME",
-        help="restrict e9 to one fault scenario from the library "
-        "(see repro.adversary.library; e.g. lossy-links, partition-heal)",
+        help="restrict e9/e10/e11 to one fault scenario from the experiment's "
+        "registry (e.g. lossy-links for e9, delay-pivotal for e10, "
+        "kill-during-recovery for e11)",
     )
     run_parser.add_argument(
         "--shard", default=None, metavar="I/K",
@@ -522,6 +551,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-execute one schedule from its replay token instead of searching",
     )
     search_parser.set_defaults(func=_cmd_search)
+
+    fit_parser = commands.add_parser(
+        "fit-delays",
+        help="fit a delay model from a measured RTT dataset (CSV or JSONL) and "
+        "print its repr, ready to paste into an ExperimentConfig",
+    )
+    fit_parser.add_argument(
+        "dataset", metavar="FILE",
+        help="RTT samples: .jsonl/.ndjson (numbers or objects with an rtt/delay/"
+        "latency field) or CSV (a header naming such a column, or numeric rows)",
+    )
+    fit_parser.add_argument(
+        "--model", default="empirical", choices=["empirical", "shifted-lognormal", "replay"],
+        help="what to fit: an ECDF quantile grid (empirical, the default), a "
+        "three-parameter shifted log-normal, or a deterministic trace replay "
+        "of the samples in file order",
+    )
+    fit_parser.add_argument(
+        "--resolution", type=int, default=64, metavar="R",
+        help="empirical only: quantile-grid intervals kept by the sketch "
+        "(default 64; any model quantile is within one grid cell of the data's)",
+    )
+    fit_parser.add_argument(
+        "--unit-mean", action="store_true",
+        help="rescale the samples to mean 1.0 before fitting, matching the "
+        "simulator's unit-mean virtual-time convention (what e11 sweeps)",
+    )
+    fit_parser.set_defaults(func=_cmd_fit_delays)
 
     merge_parser = commands.add_parser(
         "merge", help="fold all shards or work-stealing workers in DIR into the single-host result"

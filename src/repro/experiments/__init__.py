@@ -1,4 +1,4 @@
-"""Experiments E1–E10: one module per paper figure / quantitative claim.
+"""Experiments E1–E11: one module per paper figure / quantitative claim.
 
 See ``docs/experiments.md`` for the experiment index (paper claim,
 parameters and sample invocations).  Every module exposes ``plan(...)``
@@ -19,6 +19,7 @@ from . import (
     e8l_large,
     e9_adversary,
     e10_adaptive,
+    e11_resilience,
 )
 from .common import ExperimentReport, default_seeds
 
@@ -34,6 +35,7 @@ ALL_EXPERIMENTS = {
     "E8L": e8l_large,
     "E9": e9_adversary,
     "E10": e10_adaptive,
+    "E11": e11_resilience,
 }
 
 __all__ = [
@@ -51,4 +53,5 @@ __all__ = [
     "e8l_large",
     "e9_adversary",
     "e10_adaptive",
+    "e11_resilience",
 ]

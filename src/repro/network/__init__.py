@@ -8,6 +8,17 @@ from .delays import (
     SpikeDelay,
     UniformDelay,
     delay_model_from_name,
+    register_delay_model,
+)
+from .empirical import (
+    REFERENCE_RTT_MS,
+    EmpiricalDelay,
+    ShiftedLogNormalDelay,
+    TraceExhausted,
+    TraceReplayDelay,
+    fit_delay_model,
+    load_rtt_samples,
+    scale_to_unit_mean,
 )
 from .message import Message, payload_size
 from .transport import Network, TrafficStats
@@ -15,13 +26,22 @@ from .transport import Network, TrafficStats
 __all__ = [
     "ConstantDelay",
     "DelayModel",
+    "EmpiricalDelay",
     "ExponentialDelay",
     "LogNormalDelay",
     "Message",
     "Network",
+    "REFERENCE_RTT_MS",
+    "ShiftedLogNormalDelay",
     "SpikeDelay",
+    "TraceExhausted",
+    "TraceReplayDelay",
     "TrafficStats",
     "UniformDelay",
     "delay_model_from_name",
+    "fit_delay_model",
+    "load_rtt_samples",
     "payload_size",
+    "register_delay_model",
+    "scale_to_unit_mean",
 ]

@@ -205,6 +205,21 @@ _NAMED_MODELS = {
 }
 
 
+def register_delay_model(name: str, factory) -> None:
+    """Register a model class under ``name`` for :func:`delay_model_from_name`.
+
+    The seam other modules (e.g. :mod:`repro.network.empirical`) use to join
+    the named catalogue without this module importing them.  Re-registering
+    the same factory under the same name is a no-op; registering a different
+    one is an error, since the name→model mapping feeds reproducibility.
+    """
+    key = name.lower()
+    existing = _NAMED_MODELS.get(key)
+    if existing is not None and existing is not factory:
+        raise ValueError(f"delay model name {name!r} already taken by {existing!r}")
+    _NAMED_MODELS[key] = factory
+
+
 def delay_model_from_name(name: str, **kwargs) -> DelayModel:
     """Instantiate a delay model by name (``uniform``, ``exponential``, ...)."""
     try:

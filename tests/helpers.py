@@ -84,7 +84,8 @@ def make_message(sender: int, payload: Any, dest: int = 0, time: float = 0.0, ms
 
 
 # --------------------------------------------------------------------- golden
-# Small, fast configurations of every experiment (e1-e9), used both by
+# Small, fast configurations of every kernel-exercising experiment (e1-e9
+# plus the empirical-delay e11), used both by
 # scripts/gen_golden_summaries.py (which froze the pre-refactor kernel's
 # summaries into tests/golden/kernel_summaries.json) and by
 # tests/test_golden_kernel.py (which asserts the current kernel still
@@ -92,9 +93,11 @@ def make_message(sender: int, payload: Any, dest: int = 0, time: float = 0.0, ms
 
 GOLDEN_SEEDS = [1000, 1001]
 
+GOLDEN_EXPERIMENTS = [f"e{i}" for i in range(1, 10)] + ["e11"]
+
 
 def golden_plans():
-    """The small e1-e9 sweep plans covered by the golden kernel fixture."""
+    """The small sweep plans covered by the golden kernel fixture."""
     from repro.experiments import (
         e1_figure1,
         e2_majority_crash,
@@ -105,6 +108,7 @@ def golden_plans():
         e7_indulgence,
         e8_scalability,
         e9_adversary,
+        e11_resilience,
     )
 
     seeds = list(GOLDEN_SEEDS)
@@ -121,6 +125,14 @@ def golden_plans():
             seeds=seeds,
             scenarios=("lossy-links", "duplication-storm", "partition-drop", "crash-recovery"),
             intensities=(0.4,),
+            round_cap=15,
+        ),
+        # One empirical-delay point pins the ECDF inverse-transform sampling
+        # (and its batched refill) into the bit-identity fixture.
+        "e11": e11_resilience.plan(
+            seeds=seeds,
+            scenarios=("kill-during-recovery",),
+            delays=("empirical",),
             round_cap=15,
         ),
     }

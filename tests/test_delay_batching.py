@@ -20,8 +20,22 @@ from repro.network.delays import (
     SpikeDelay,
     UniformDelay,
 )
+from repro.network.empirical import (
+    REFERENCE_RTT_MS,
+    EmpiricalDelay,
+    ShiftedLogNormalDelay,
+    TraceReplayDelay,
+    scale_to_unit_mean,
+)
 from repro.network.transport import Network
 from repro.sim.rng import RandomSource, random_block
+
+_UNIT_RTT = scale_to_unit_mean(REFERENCE_RTT_MS)
+
+# Long enough for the 512-draw batch tests AND the transport test: serving
+# 700 cached draws consumes 1008 prefetched entries (refills double
+# 16..512), so the replay trace needs headroom well past the draw count.
+_TRACE = tuple(random.Random(8).uniform(0.2, 3.0) for _ in range(2048))
 
 MODELS = [
     ConstantDelay(),
@@ -34,13 +48,21 @@ MODELS = [
     # in every batch size.
     SpikeDelay(),
     SpikeDelay(spike_probability=0.5),
+    # The trace-driven models: a hand-rolled coarse grid, the fitted pair
+    # (ECDF sketch + shifted log-normal) and a deterministic trace replay.
+    EmpiricalDelay(quantiles=(0.5, 0.75, 1.0, 2.0, 4.0)),
+    EmpiricalDelay.fit(_UNIT_RTT),
+    ShiftedLogNormalDelay.fit(_UNIT_RTT),
+    TraceReplayDelay(_TRACE),
 ]
 
 BATCH_SIZES = [1, 7, 512]
 
 
 def _model_id(model):
-    return repr(model)
+    # ``describe()`` is ``repr`` for the synthetic models and a bounded
+    # digest for the trace-driven ones (a 2048-float repr makes no test id).
+    return model.describe()
 
 
 @pytest.fixture(params=[True, False], ids=["numpy", "no-numpy"])
@@ -131,6 +153,24 @@ def test_subclass_of_vectorized_model_falls_back_to_percall():
     assert model.sample_batch(rng, 9) == expected
 
 
+@pytest.mark.parametrize(
+    "base", [EmpiricalDelay(quantiles=(0.5, 1.0, 2.0)), TraceReplayDelay(_TRACE)], ids=_model_id
+)
+def test_subclass_of_trace_driven_model_falls_back_to_percall(base):
+    """The ``type(self) is not X`` guard also protects the new overrides."""
+
+    class Doubled(type(base)):
+        def sample(self, rng):
+            return 2.0 * super().sample(rng)
+
+    model = Doubled(**{field: getattr(base, field) for field in base.__dataclass_fields__})
+    rng = random.Random(23)
+    reference = random.Random(23)
+    expected = [model.sample(reference) for _ in range(9)]
+    assert model.sample_batch(rng, 9) == expected
+    assert rng.getstate() == reference.getstate()
+
+
 @pytest.mark.parametrize("k", [0, 1, 7, 8, 512])
 def test_random_block_matches_percall_uniforms(k, maybe_numpy):
     """The block primitive under every path: empty, loop and vectorized."""
@@ -143,7 +183,16 @@ def test_random_block_matches_percall_uniforms(k, maybe_numpy):
 
 # ------------------------------------------------------------ transport seam
 @pytest.mark.parametrize(
-    "model", [UniformDelay(), ExponentialDelay(), SpikeDelay()], ids=_model_id
+    "model",
+    [
+        UniformDelay(),
+        ExponentialDelay(),
+        SpikeDelay(),
+        EmpiricalDelay.fit(_UNIT_RTT),
+        ShiftedLogNormalDelay.fit(_UNIT_RTT),
+        TraceReplayDelay(_TRACE),
+    ],
+    ids=_model_id,
 )
 def test_network_delay_cache_serves_the_percall_stream(model, maybe_numpy):
     """``Network.sample_delay`` with the refill cache equals per-call draws.

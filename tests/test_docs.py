@@ -50,17 +50,30 @@ def test_all_relative_markdown_links_resolve():
     )
 
 
-def test_experiments_doc_covers_all_nine_drivers():
+def test_experiments_doc_covers_all_drivers():
     text = (REPO_ROOT / "docs" / "experiments.md").read_text()
-    for experiment in ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"):
+    for experiment in (
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+    ):
         assert f"## {experiment} — " in text, f"docs/experiments.md lacks a section for {experiment}"
     assert "--shard" in text and "merge" in text  # the sharded form is documented
-    assert "--scenario" in text  # e9's scenario restriction is documented
+    assert "--scenario" in text  # e9/e10/e11's scenario restriction is documented
+    assert "fit-delays" in text  # e11's empirical-delay workflow is documented
 
 
 def test_simulator_doc_covers_the_internals():
     text = (REPO_ROOT / "docs" / "simulator.md").read_text()
-    for topic in ("event loop", "effect", "delay model", "adversary"):
+    for topic in (
+        "event loop",
+        "effect",
+        "delay model",
+        "adversary",
+        # The trace-driven delay models and their fitting workflow.
+        "empiricaldelay",
+        "tracereplaydelay",
+        "fit-delays",
+        "sample_batch",
+    ):
         assert topic in text.lower(), f"docs/simulator.md lacks the {topic!r} topic"
 
 
@@ -118,6 +131,7 @@ INVOCATION_DOCS = (
     "docs/experiments.md",
     "docs/distributed.md",
     "docs/observability.md",
+    "docs/simulator.md",
 )
 
 
@@ -141,6 +155,7 @@ def test_documented_invocations_match_the_argparse_surface():
     assert len(commands) >= 12, "the docs should show plenty of concrete invocations"
     assert any("--steal" in argv for _, _, argv in commands)
     assert any("--shard" in argv for _, _, argv in commands)
+    assert any("fit-delays" in argv for _, _, argv in commands)
     for relative, line, argv in commands:
         parser = build_parser()
         try:

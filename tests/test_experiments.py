@@ -40,9 +40,11 @@ def test_experiment_report_helpers():
 
 
 def test_registry_contains_all_experiments():
-    # The nine paper experiments plus the large-n (E8L) and adaptive
-    # adversary (E10) extension drivers.
-    assert sorted(ALL_EXPERIMENTS) == ["E1", "E10"] + [f"E{i}" for i in range(2, 9)] + ["E8L", "E9"]
+    # The nine paper experiments plus the large-n (E8L), adaptive
+    # adversary (E10) and flaky-host resilience (E11) extension drivers.
+    assert sorted(ALL_EXPERIMENTS) == (
+        ["E1", "E10", "E11"] + [f"E{i}" for i in range(2, 9)] + ["E8L", "E9"]
+    )
     for module in ALL_EXPERIMENTS.values():
         assert hasattr(module, "run") and hasattr(module, "main")
         assert isinstance(module.PAPER_CLAIM, str) and module.PAPER_CLAIM

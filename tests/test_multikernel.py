@@ -270,7 +270,7 @@ def golden_coop_aggregates():
     }
 
 
-@pytest.mark.parametrize("experiment", [f"e{i}" for i in range(1, 10)])
+@pytest.mark.parametrize("experiment", [f"e{i}" for i in range(1, 10)] + ["e11"])
 def test_every_experiment_plan_coop_equals_process(
     golden_reference_aggregates, golden_coop_aggregates, experiment
 ):
